@@ -1,0 +1,25 @@
+"""Shared machinery for the per-exhibit benchmark suite.
+
+Each benchmark regenerates one paper table/figure through
+``repro.experiments.run`` and records its findings into the
+pytest-benchmark ``extra_info`` so ``--benchmark-only`` output shows the
+paper-facing numbers next to the runtimes.
+"""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture
+def exhibit(benchmark):
+    """Run one exhibit under the benchmark clock and return its result."""
+
+    def runner(exp_id):
+        result = benchmark.pedantic(lambda: run(exp_id), rounds=1,
+                                    iterations=1)
+        for key, value in result.findings.items():
+            benchmark.extra_info[key] = round(value, 4)
+        return result
+
+    return runner

@@ -1,0 +1,11 @@
+"""Ablation: redirector chain length (Beamer 2 vs Canal 4).
+
+Regenerates the study via ``repro.experiments.run("ablation_chain")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_chain_length(exhibit):
+    result = exhibit("ablation_chain")
+    assert result.findings["kept_fraction_chain4"] == 1.0
+    assert result.findings["kept_fraction_chain2"] < 0.95

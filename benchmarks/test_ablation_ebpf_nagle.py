@@ -1,0 +1,11 @@
+"""Ablation: eBPF Nagle re-implementation across sizes.
+
+Regenerates the study via ``repro.experiments.run("ablation_nagle")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_ebpf_nagle(exhibit):
+    result = exhibit("ablation_nagle")
+    assert result.findings["small_packet_ctx_saving"] > 0.5
+    assert result.findings["large_packet_ctx_saving"] == 0.0

@@ -1,0 +1,11 @@
+"""Ablation: health-check aggregation level contributions.
+
+Regenerates the study via ``repro.experiments.run("ablation_health")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_health_aggregation(exhibit):
+    result = exhibit("ablation_health")
+    assert result.findings["full_reduction"] > 0.996
+    assert result.findings["service_only_reduction"] < 0.5

@@ -1,0 +1,10 @@
+"""Ablation: incremental vs full-config push.
+
+Regenerates the study via ``repro.experiments.run("ablation_incremental")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_incremental_push(exhibit):
+    result = exhibit("ablation_incremental")
+    assert result.findings["full_over_incremental_large"] > 2 * result.findings["full_over_incremental_small"]

@@ -1,0 +1,10 @@
+"""Ablation: peak shaving from proxy consolidation (§3.1).
+
+Regenerates the study via ``repro.experiments.run("ablation_peaks")``.
+"""
+
+
+def test_ablation_peak_shaving(exhibit):
+    result = exhibit("ablation_peaks")
+    assert result.findings["saving_staggered"] > 0.3
+    assert result.findings["saving_synchronized"] < 0.1

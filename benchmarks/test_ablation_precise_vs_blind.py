@@ -1,0 +1,11 @@
+"""Ablation: RCA-driven precise scaling vs blind scaling.
+
+Regenerates the study via ``repro.experiments.run("ablation_scaling")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_precise_vs_blind(exhibit):
+    result = exhibit("ablation_scaling")
+    assert result.findings["precise_ops"] < result.findings["blind_ops"]
+    assert result.findings["precise_time_s"] < result.findings["blind_time_s"]

@@ -1,0 +1,11 @@
+"""Ablation: shuffle sharding vs naive block placement.
+
+Regenerates the study via ``repro.experiments.run("ablation_sharding")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_shuffle_sharding(exhibit):
+    result = exhibit("ablation_sharding")
+    assert result.findings["shuffled_collateral"] == 0.0
+    assert result.findings["naive_collateral"] >= 1.0

@@ -1,0 +1,10 @@
+"""Ablation: session-aggregation tunnel count.
+
+Regenerates the study via ``repro.experiments.run("ablation_tunnels")`` and
+asserts the design choice's benefit is visible.
+"""
+
+
+def test_ablation_tunnel_count(exhibit):
+    result = exhibit("ablation_tunnels")
+    assert result.findings["session_reduction_at_10x"] > 0.999

@@ -1,0 +1,11 @@
+"""Case 1 (§6.2): session flood → lossy sandbox migration.
+
+Regenerates the scenario via ``repro.experiments.run("case1")``.
+"""
+
+
+def test_case1_lossy_migration(exhibit):
+    result = exhibit("case1")
+    assert result.findings["lossy_migrations"] == 1
+    assert result.findings["sessions_reset"] > 100_000
+    assert result.findings["peers_unaffected"] == 1.0

@@ -1,0 +1,10 @@
+"""Case 2 (§6.2): anomalous scaling cadence → lossless migration.
+
+Regenerates the scenario via ``repro.experiments.run("case2")``.
+"""
+
+
+def test_case2_lossless_migration(exhibit):
+    result = exhibit("case2")
+    assert result.findings["lossless_migrations"] == 1
+    assert result.findings["sessions_reset"] == 0

@@ -1,0 +1,10 @@
+"""Case 3 (§6.2): hotspot event, throttling stops the cascade.
+
+Regenerates the scenario via ``repro.experiments.run("case3")``.
+"""
+
+
+def test_case3_hotspot_throttling(exhibit):
+    result = exhibit("case3")
+    assert result.findings["platforms_down_without"] == 3
+    assert result.findings["platforms_down_with"] == 0

@@ -1,0 +1,10 @@
+"""§2.1 case: config updates saturate a 100 Mbps cross-region VPN.
+
+Regenerates the scenario via ``repro.experiments.run("case_vpn")``.
+"""
+
+
+def test_case_cross_region_vpn(exhibit):
+    result = exhibit("case_vpn")
+    assert result.findings["delay_ratio"] > 5.0
+    assert result.findings["queue_growth_100mbps"] > 1.5

@@ -1,0 +1,10 @@
+"""§6.3: scattering in-phase services flattens the backend's daily peak.
+
+Regenerates via ``repro.experiments.run("case_phase")``.
+"""
+
+
+def test_case_phase_migration(exhibit):
+    result = exhibit("case_phase")
+    assert result.findings["in_phase_groups"] >= 1
+    assert result.findings["peak_reduction"] > 0.2

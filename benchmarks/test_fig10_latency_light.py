@@ -1,0 +1,12 @@
+"""Fig 10: latency under light workloads.
+
+Regenerates the exhibit via ``repro.experiments.run("fig10")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig10_latency_light(exhibit):
+    result = exhibit("fig10")
+    assert 1.4 < result.findings["istio_over_canal"] < 2.2
+    assert 1.1 < result.findings["ambient_over_canal"] < 1.6
+    assert result.findings["canal_over_baseline"] < 1.4

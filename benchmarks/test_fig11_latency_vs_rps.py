@@ -1,0 +1,11 @@
+"""Fig 11: P99 latency vs offered RPS (throughput knees).
+
+Regenerates the exhibit via ``repro.experiments.run("fig11")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig11_latency_vs_rps(exhibit):
+    result = exhibit("fig11")
+    assert result.findings["canal_over_istio_throughput"] > 5.0
+    assert result.findings["canal_over_ambient_throughput"] > 1.5

@@ -1,0 +1,13 @@
+"""Fig 12: on-node CPU saving from crypto offloading.
+
+Regenerates the exhibit via ``repro.experiments.run("fig12")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig12_crypto_cpu_saving(exhibit):
+    result = exhibit("fig12")
+    assert 0.43 <= result.findings["local_saving_min"]
+    assert result.findings["local_saving_max"] <= 0.72
+    assert 0.60 <= result.findings["remote_saving_min"]
+    assert result.findings["remote_saving_max"] <= 0.72

@@ -1,0 +1,11 @@
+"""Fig 13: CPU usage of Istio, Ambient, and Canal.
+
+Regenerates the exhibit via ``repro.experiments.run("fig13")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig13_cpu_usage(exhibit):
+    result = exhibit("fig13")
+    assert 10.0 < result.findings["istio_over_canal_cpu"] < 22.0
+    assert 3.5 < result.findings["ambient_over_canal_cpu"] < 8.0

@@ -1,0 +1,11 @@
+"""Fig 14: configuration completion time for pod creation.
+
+Regenerates the exhibit via ``repro.experiments.run("fig14")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig14_config_completion(exhibit):
+    result = exhibit("fig14")
+    assert 1.3 < result.findings["istio_over_canal_time"] < 2.3
+    assert 1.1 < result.findings["ambient_over_canal_time"] < 1.6

@@ -1,0 +1,11 @@
+"""Fig 15: southbound bandwidth on a routing update.
+
+Regenerates the exhibit via ``repro.experiments.run("fig15")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig15_southbound_bw(exhibit):
+    result = exhibit("fig15")
+    assert abs(result.findings["istio_over_canal_bytes"] - 9.8) < 0.1
+    assert abs(result.findings["ambient_over_canal_bytes"] - 4.6) < 0.1

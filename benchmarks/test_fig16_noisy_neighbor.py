@@ -1,0 +1,13 @@
+"""Fig 16: noisy-neighbor isolation in a multi-tenant backend.
+
+Regenerates the exhibit via ``repro.experiments.run("fig16")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig16_noisy_neighbor(exhibit):
+    result = exhibit("fig16")
+    assert 0.7 <= result.findings["peak_backend_cpu"] <= 0.9
+    assert result.findings["final_backend_cpu"] <= 0.4
+    assert result.findings["max_error_codes"] == 0
+    assert result.findings["recovery_seconds"] <= 60

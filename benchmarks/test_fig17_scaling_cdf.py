@@ -1,0 +1,11 @@
+"""Fig 17: CDF of Reuse/New completion times.
+
+Regenerates the exhibit via ``repro.experiments.run("fig17")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig17_scaling_cdf(exhibit):
+    result = exhibit("fig17")
+    assert 30.0 < result.findings["reuse_p50_s"] < 90.0
+    assert 12 * 60 < result.findings["new_p50_s"] < 24 * 60

@@ -1,0 +1,11 @@
+"""Fig 18: daily Reuse/New occurrences over a month.
+
+Regenerates the exhibit via ``repro.experiments.run("fig18")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig18_scaling_occurrences(exhibit):
+    result = exhibit("fig18")
+    assert result.findings["total_reuse"] > 8 * result.findings["total_new"]
+    assert result.findings["total_new"] > 0

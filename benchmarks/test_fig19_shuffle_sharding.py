@@ -1,0 +1,11 @@
+"""Fig 19: backend combinations from shuffle sharding.
+
+Regenerates the exhibit via ``repro.experiments.run("fig19")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig19_shuffle_sharding(exhibit):
+    result = exhibit("fig19")
+    assert result.findings["fully_overlapping_pairs"] == 0
+    assert result.findings["min_survivor_backends"] >= 1

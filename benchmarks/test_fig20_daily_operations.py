@@ -1,0 +1,12 @@
+"""Fig 20: daily operational data (RPS and error codes).
+
+Regenerates the exhibit via ``repro.experiments.run("fig20")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig20_daily_operations(exhibit):
+    result = exhibit("fig20")
+    assert result.findings["rps_error_correlation"] > 0.8
+    assert result.findings["max_error_ratio"] < 0.01
+    assert result.findings["operations_executed"] >= 3

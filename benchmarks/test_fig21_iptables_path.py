@@ -1,0 +1,11 @@
+"""Fig 21: iptables vs eBPF redirection path structure.
+
+Regenerates the exhibit via ``repro.experiments.run("fig21")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig21_iptables_path(exhibit):
+    result = exhibit("fig21")
+    assert result.findings["iptables_extra_stack_passes"] == 2
+    assert result.findings["cpu_ratio"] > 3.0

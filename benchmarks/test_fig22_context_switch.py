@@ -1,0 +1,11 @@
+"""Fig 22: context-switch frequency for 16B packets at 4kRPS.
+
+Regenerates the exhibit via ``repro.experiments.run("fig22")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig22_context_switch(exhibit):
+    result = exhibit("fig22")
+    assert result.findings["ebpf_over_iptables_ctx"] > 1.5
+    assert result.findings["nagle_fix_ctx_reduction"] > 0.5

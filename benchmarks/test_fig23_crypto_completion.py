@@ -1,0 +1,12 @@
+"""Fig 23: crypto completion with remote/local/no offloading.
+
+Regenerates the exhibit via ``repro.experiments.run("fig23")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig23_crypto_completion(exhibit):
+    result = exhibit("fig23")
+    assert 1.4 < result.findings["remote_mean_ms"] < 2.0
+    assert result.findings["remote_spread_ms"] < 0.2
+    assert abs(result.findings["none_mean_ms"] - 2.0) < 0.05

@@ -1,0 +1,12 @@
+"""Fig 24: production end-to-end latency distribution.
+
+Regenerates the exhibit via ``repro.experiments.run("fig24")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig24_latency_distribution(exhibit):
+    result = exhibit("fig24")
+    assert result.findings["share_40_50ms"] > 0.25
+    assert result.findings["share_100_200ms"] > 0.25
+    assert result.findings["key_server_delta_relative"] < 0.02

@@ -1,0 +1,11 @@
+"""Fig 25: AVX-512 performance vs concurrent new connections.
+
+Regenerates the exhibit via ``repro.experiments.run("fig25")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig25_avx512_batching(exhibit):
+    result = exhibit("fig25")
+    assert result.findings["crossover_connections"] == 8
+    assert result.findings["completion_at_8_ms"] < result.findings["completion_at_1_ms"]

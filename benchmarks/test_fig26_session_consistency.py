@@ -1,0 +1,11 @@
+"""Fig 26: redirector session consistency on replica change.
+
+Regenerates the exhibit via ``repro.experiments.run("fig26")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig26_session_consistency(exhibit):
+    result = exhibit("fig26")
+    assert result.findings["sticky_fraction"] == 1.0
+    assert result.findings["new_flows_on_draining"] == 0

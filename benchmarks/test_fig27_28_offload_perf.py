@@ -1,0 +1,12 @@
+"""Figs 27/28: throughput/latency with key-server offloading.
+
+Regenerates the exhibit via ``repro.experiments.run("fig27_28")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig27_28_offload_perf(exhibit):
+    result = exhibit("fig27_28")
+    assert 1.5 < result.findings["throughput_ratio_min"]
+    assert result.findings["throughput_ratio_max"] < 1.9
+    assert result.findings["latency_reduction_max"] > 0.45

@@ -1,0 +1,12 @@
+"""Figs 29/30: eBPF vs iptables throughput/latency by size.
+
+Regenerates the exhibit via ``repro.experiments.run("fig29_30")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig29_30_ebpf_perf(exhibit):
+    result = exhibit("fig29_30")
+    assert 1.2 < result.findings["throughput_ratio_small"] < 1.5
+    assert 1.9 < result.findings["throughput_ratio_large"] < 2.6
+    assert 1.3 < result.findings["latency_ratio_mean"] < 1.9

@@ -1,0 +1,11 @@
+"""Fig 2: sidecar CPU utilization vs end-to-end latency.
+
+Regenerates the exhibit via ``repro.experiments.run("fig2")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig2_latency_vs_util(exhibit):
+    result = exhibit("fig2")
+    assert 1.3 < result.findings["mean_multiplier_at_45pct"] < 2.5
+    assert result.findings["p99_multiplier_at_92pct"] > 20.0

@@ -1,0 +1,10 @@
+"""Fig 3: sidecar count growth for a major customer.
+
+Regenerates the exhibit via ``repro.experiments.run("fig3")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig3_sidecar_growth(exhibit):
+    result = exhibit("fig3")
+    assert 1.7 < result.findings["growth_ratio"] < 2.3

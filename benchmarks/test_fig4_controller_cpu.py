@@ -1,0 +1,12 @@
+"""Fig 4: controller CPU usage and pod update time.
+
+Regenerates the exhibit via ``repro.experiments.run("fig4")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig4_controller_cpu(exhibit):
+    result = exhibit("fig4")
+    assert result.findings["build_growth"] > 20.0
+    assert result.findings["push_rate_growth"] < result.findings["build_growth"] / 5
+    assert result.findings["completion_growth"] > 5.0

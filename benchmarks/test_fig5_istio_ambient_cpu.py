@@ -1,0 +1,10 @@
+"""Fig 5: CPU usage of Istio and Ambient.
+
+Regenerates the exhibit via ``repro.experiments.run("fig5")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_fig5_istio_ambient_cpu(exhibit):
+    result = exhibit("fig5")
+    assert 2.0 < result.findings["istio_over_ambient_cpu"] < 5.0

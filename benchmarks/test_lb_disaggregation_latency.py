@@ -1,0 +1,13 @@
+"""§4.4's latency claim: dedicated LBs vs in-replica redirectors.
+
+Regenerates via ``repro.experiments.run("lb_latency")``.
+"""
+
+
+def test_lb_disaggregation_latency(exhibit):
+    result = exhibit("lb_latency")
+    # Paper: 3-4.2 ms with dedicated LBs → 1.4-2.1 ms disaggregated.
+    assert 2.6 <= result.findings["dedicated_p10_ms"]
+    assert result.findings["dedicated_p90_ms"] <= 4.6
+    assert 1.3 <= result.findings["disaggregated_p10_ms"]
+    assert result.findings["disaggregated_p90_ms"] <= 2.2

@@ -1,0 +1,10 @@
+"""Robustness: headline orderings under ±40% calibration perturbation.
+
+Regenerates via ``repro.experiments.run("sensitivity")``.
+"""
+
+
+def test_sensitivity_calibration(exhibit):
+    result = exhibit("sensitivity")
+    assert result.findings["ordering_holds_everywhere"] == 1.0
+    assert result.findings["latency_ratio_min"] > 1.1

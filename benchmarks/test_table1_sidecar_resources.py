@@ -1,0 +1,11 @@
+"""Table 1: sidecar resource usage in production clusters.
+
+Regenerates the exhibit via ``repro.experiments.run("table1")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table1_sidecar_resources(exhibit):
+    result = exhibit("table1")
+    assert 0.03 <= result.findings["min_cpu_share"]
+    assert result.findings["max_cpu_share"] <= 0.32

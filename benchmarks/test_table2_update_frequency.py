@@ -1,0 +1,11 @@
+"""Table 2: configuration update frequency by cluster size.
+
+Regenerates the exhibit via ``repro.experiments.run("table2")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table2_update_frequency(exhibit):
+    result = exhibit("table2")
+    assert 1.0 <= result.findings["small_cluster_per_min"] <= 5.0
+    assert 40.0 <= result.findings["large_cluster_per_min"] <= 70.0

@@ -1,0 +1,11 @@
+"""Table 3: proportion of users enabling L7 features.
+
+Regenerates the exhibit via ``repro.experiments.run("table3")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table3_l7_adoption(exhibit):
+    result = exhibit("table3")
+    assert 0.75 <= result.findings["min_l7_share"]
+    assert result.findings["max_l7_share"] <= 0.97

@@ -1,0 +1,11 @@
+"""Table 4: Reuse and New milestone timelines.
+
+Regenerates the exhibit via ``repro.experiments.run("table4")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table4_scaling_timelines(exhibit):
+    result = exhibit("table4")
+    assert result.findings["reuse_execute_to_finish_s"] < 120.0
+    assert result.findings["new_execute_to_finish_s"] > 8 * 60

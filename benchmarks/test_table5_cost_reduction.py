@@ -1,0 +1,13 @@
+"""Table 5: cost reduction by redirector and tunneling.
+
+Regenerates the exhibit via ``repro.experiments.run("table5")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table5_cost_reduction(exhibit):
+    result = exhibit("table5")
+    assert 0.30 <= result.findings["redirector_min"]
+    assert result.findings["redirector_max"] <= 0.50
+    assert 0.50 <= result.findings["both_min"]
+    assert result.findings["both_max"] <= 0.72

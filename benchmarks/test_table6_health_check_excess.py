@@ -1,0 +1,10 @@
+"""Table 6: health checks vs app traffic.
+
+Regenerates the exhibit via ``repro.experiments.run("table6")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table6_health_check_excess(exhibit):
+    result = exhibit("table6")
+    assert result.findings["max_ratio"] > 400

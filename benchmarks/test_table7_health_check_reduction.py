@@ -1,0 +1,10 @@
+"""Table 7: health-check reduction by aggregation.
+
+Regenerates the exhibit via ``repro.experiments.run("table7")`` and
+asserts the paper-facing findings hold in shape.
+"""
+
+
+def test_table7_health_check_reduction(exhibit):
+    result = exhibit("table7")
+    assert result.findings["min_reduction"] >= 0.996

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Canary release through the remote gateway (§4.1.1's traffic control).
+
+The functional-equivalence argument: route-control inputs travel in the
+packets and the forwarding tables can be configured remotely, so
+percentage-based traffic splitting works from the centralized gateway —
+no sidecar needed. This example rolls a canary from 0 % to 100 % while
+live traffic flows, plus a header-pinned route for internal testers.
+
+Run:  python examples/canary_release.py
+"""
+
+from collections import Counter
+
+from repro.experiments.testbed import build_testbed
+from repro.mesh import (
+    HttpMatch,
+    HttpRequest,
+    RouteRule,
+    RouteTable,
+    WeightedDestination,
+)
+from repro.workloads import ClosedLoopDriver
+
+
+def route_table(canary_weight: int) -> RouteTable:
+    return RouteTable("svc1", [
+        # Internal testers are pinned to the canary regardless of weight.
+        RouteRule(HttpMatch(headers=(("x-internal-tester", "true"),)),
+                  destinations=(WeightedDestination("canary", 100),),
+                  name="testers"),
+        RouteRule(HttpMatch(),
+                  destinations=(
+                      WeightedDestination("canary", canary_weight),
+                      WeightedDestination("", 100 - canary_weight)),
+                  name="percentage-split"),
+    ])
+
+
+def observed_split(run, request: HttpRequest, samples: int = 2000) -> Counter:
+    return Counter(
+        run.mesh.pick_endpoint("svc1", request).labels.get("version",
+                                                           "stable")
+        for _ in range(samples))
+
+
+def main() -> None:
+    run = build_testbed("canal", seed=7)
+    # Ship v2 as a labeled subset of svc1.
+    run.cluster.create_deployment("svc1-canary", replicas=3,
+                                  labels={"app": "svc1",
+                                          "version": "canary"})
+    print("svc1: 10 stable pods + 3 canary pods behind one service\n")
+
+    print("progressive rollout (percentage-based splitting):")
+    for weight in (0, 10, 50, 100):
+        run.mesh.set_route_table(route_table(weight))
+        picks = observed_split(run, HttpRequest())
+        share = picks.get("canary", 0) / sum(picks.values())
+        print(f"  canary weight {weight:3d}% → observed share "
+              f"{share:6.1%}   {dict(picks)}")
+
+    print("\nheader-pinned testers always hit the canary (L7 match):")
+    run.mesh.set_route_table(route_table(10))
+    tester_request = HttpRequest(headers={"x-internal-tester": "true"})
+    picks = observed_split(run, tester_request, samples=200)
+    print(f"  tester requests → {dict(picks)}")
+
+    print("\nlive traffic through the full Canal path at weight 50%:")
+    run.mesh.set_route_table(route_table(50))
+    driver = ClosedLoopDriver(run.sim, run.mesh, run.client_pod, "svc1",
+                              connections=4, requests_per_connection=50)
+    report = run.run_driver(driver)
+    print(f"  200 requests, errors: {report.error_count}, "
+          f"mean latency {report.latency.mean * 1e3:.2f} ms")
+    print("\nThe route table lives at the gateway — updating the split "
+          "touched one config\ntarget, not 30 sidecars (Fig 15's point).")
+
+
+if __name__ == "__main__":
+    main()

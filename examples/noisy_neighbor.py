@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Noisy-neighbor drill: the paper's Fig 16 scenario, narrated live.
+
+A multi-tenant gateway carries eight tenant services. One of them
+surges ~15x at t=45 s. Watch the control loop do its job:
+
+  backend water-level alert → root-cause analysis pinpoints the surging
+  service → precise Reuse scaling extends it onto idle backends → the
+  hot backend drains below 35 % — while every co-located service keeps
+  its RPS, latency, and a clean error count.
+
+Run:  python examples/noisy_neighbor.py
+"""
+
+import random
+
+from repro.core import (
+    AnomalySignals,
+    GatewayMonitor,
+    RapidResponder,
+    SandboxManager,
+    ScalingEngine,
+    ScalingTimings,
+)
+from repro.experiments.cloud_ops import build_production_gateway
+from repro.simcore import Simulator
+from repro.workloads import surge_trace
+
+
+def main() -> None:
+    sim = Simulator(seed=31)
+    gateway, services = build_production_gateway(sim, backends_per_az=10)
+    rng = random.Random(31)
+
+    for service in services:
+        gateway.set_service_load(service.service_id, 25_000.0)
+
+    hot_backend = max(gateway.all_backends,
+                      key=lambda b: len(b.configured_services))
+    noisy_id = next(iter(hot_backend.top_services(1)))
+    noisy = gateway.registry.services[noisy_id]
+    peers = [sid for sid in hot_backend.configured_services
+             if sid != noisy_id]
+    print(f"hot backend: {hot_backend.name} "
+          f"(services: {sorted(hot_backend.configured_services)})")
+    print(f"noisy neighbor: {noisy.qualified_name} "
+          f"({'HTTPS' if noisy.https else 'HTTP'})")
+
+    # Size the surge to peak the backend at ~80 % water.
+    weight = noisy.request_weight
+    others = sum(hot_backend.service_rps(sid)
+                 * gateway.registry.services[sid].request_weight
+                 for sid in peers)
+    surge_total = ((0.8 * hot_backend.capacity_rps() - others) / weight
+                   * len(gateway.service_backends[noisy_id]))
+    trace = surge_trace(rng, 25_000.0, surge_total, duration_s=100,
+                        surge_start_s=45)
+
+    monitor = GatewayMonitor(sim, gateway, interval_s=1.0)
+    scaling = ScalingEngine(sim, gateway,
+                            timings=ScalingTimings(reuse_median_s=8.0,
+                                                   settle_median_s=5.0),
+                            target_water=0.3)
+    sandbox = SandboxManager(sim, gateway)
+    responder = RapidResponder(
+        sim, gateway, monitor, scaling, sandbox,
+        signal_provider=lambda sid: AnomalySignals(
+            rps_growth=3.0, session_growth=3.2, water_growth=2.5))
+    monitor.subscribe(lambda alert: print(
+        f"  t={alert.time:5.1f}s  ALERT[{alert.level}] {alert.subject}: "
+        f"{alert.message}"))
+    monitor.start()
+
+    def drive():
+        for second, rps in enumerate(trace):
+            gateway.set_service_load(noisy_id, rps)
+            if second % 10 == 0:
+                peers_rps = sum(gateway.service_rps[sid] for sid in peers)
+                print(f"  t={second:5.1f}s  backend CPU "
+                      f"{hot_backend.water_level():5.1%}   noisy "
+                      f"{rps / 1e3:6.1f} kRPS   peers {peers_rps / 1e3:5.1f} "
+                      f"kRPS   backends(noisy)="
+                      f"{len(gateway.service_backends[noisy_id])}")
+            yield sim.timeout(1.0)
+
+    print("\ntimeline:")
+    sim.process(drive())
+    sim.run(until=101.0)
+
+    print("\noutcome:")
+    for response in responder.responses:
+        print(f"  {response.alert.subject}: classified "
+              f"{response.classification!r} → action {response.action!r} "
+              f"(RCA via {response.rca.method if response.rca else '-'})")
+    for event in scaling.events:
+        print(f"  scaling[{event.kind}] service {event.service_id} onto "
+              f"{event.backend_name}: execute→below-threshold "
+              f"{event.completion_s:.1f}s")
+    print(f"  final hot-backend CPU: {hot_backend.water_level():.1%} "
+          f"(paper: 80% → ~30% within dozens of seconds)")
+    outages = [sid for sid in peers if gateway.service_outage(sid)]
+    print(f"  peer outages / error codes: {len(outages)} (expected 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: run the same workload through Istio, Ambient, and Canal.
+
+Builds the paper's §5.1 testbed (2 worker nodes, 30 pods, 3 services)
+for each architecture, drives a light closed-loop workload plus a
+moderate open-loop one, and prints the latency / user-CPU comparison
+that Figs 10 and 13 report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.testbed import build_testbed
+from repro.workloads import ClosedLoopDriver, OpenLoopDriver
+
+
+def light_load(mesh_name: str):
+    """Fig 10's probe: one connection, one request per second."""
+    run = build_testbed(mesh_name, seed=7)
+    driver = ClosedLoopDriver(run.sim, run.mesh, run.client_pod, "svc1",
+                              connections=1, requests_per_connection=100,
+                              think_time_s=1.0)
+    report = run.run_driver(driver)
+    return report.latency.mean, run.mesh
+
+
+def moderate_load(mesh_name: str, rps: float = 800.0, duration: float = 3.0):
+    """Fig 13's probe: sustained open-loop load over 50 connections."""
+    run = build_testbed(mesh_name, seed=7)
+    driver = OpenLoopDriver(run.sim, run.mesh, run.client_pod, "svc1",
+                            rps=rps, duration_s=duration, connections=50)
+    report = run.run_driver(driver)
+    user_cores = run.mesh.user_cpu_seconds() / duration
+    infra_cores = run.mesh.infra_cpu_seconds() / duration
+    return report, user_cores, infra_cores
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Canal Mesh quickstart — three architectures, one workload")
+    print("=" * 72)
+
+    print("\n--- Light load (1 conn, 1 rps x 100): mean end-to-end latency")
+    latencies = {}
+    for mesh_name in ("no-mesh", "canal", "ambient", "istio"):
+        latency, _mesh = light_load(mesh_name)
+        latencies[mesh_name] = latency
+        print(f"  {mesh_name:<8}  {latency * 1e3:7.3f} ms")
+    print(f"  → Istio/Canal = {latencies['istio'] / latencies['canal']:.2f}x"
+          f"  (paper: 1.7x),  Ambient/Canal = "
+          f"{latencies['ambient'] / latencies['canal']:.2f}x  (paper: 1.3x)")
+
+    print("\n--- Moderate load (800 rps x 3 s): proxy CPU cores consumed")
+    user = {}
+    for mesh_name in ("istio", "ambient", "canal"):
+        report, user_cores, infra_cores = moderate_load(mesh_name)
+        user[mesh_name] = user_cores
+        extra = f" + {infra_cores:.2f} gateway-side" if infra_cores else ""
+        print(f"  {mesh_name:<8}  user-cluster {user_cores:5.2f} cores{extra}"
+              f"   (p99 latency {report.latency.percentile(99) * 1e3:.2f} ms)")
+    print(f"  → Istio/Canal = {user['istio'] / user['canal']:.1f}x"
+          f"  (paper: 12-19x),  Ambient/Canal = "
+          f"{user['ambient'] / user['canal']:.1f}x  (paper: 4.6-7.2x)")
+
+    print("\nThe Canal user-cluster numbers are the two on-node proxies;")
+    print("its L7 processing runs on gateway replicas the provider owns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Canal Mesh reproduction (SIGCOMM 2024).
+
+A discrete-event-simulation reproduction of "Canal Mesh: A Cloud-Scale
+Sidecar-Free Multi-Tenant Service Mesh Architecture". Subpackages:
+
+* ``repro.simcore`` — the DES engine;
+* ``repro.netsim`` — topology, packets, ECMP, vSwitch, DNS;
+* ``repro.kernel`` — iptables/eBPF/Nagle dataplane cost models;
+* ``repro.crypto`` — mTLS, certificates, crypto accelerators;
+* ``repro.k8s`` — the Kubernetes-like cluster substrate;
+* ``repro.mesh`` — the shared mesh layer and Istio/Ambient baselines;
+* ``repro.core`` — Canal itself (gateway, key server, control loops);
+* ``repro.workloads`` — load drivers and synthetic traces;
+* ``repro.experiments`` — one experiment per paper table/figure.
+"""
+
+from .core import CanalMesh, MeshGateway
+from .k8s import Cluster
+from .mesh import AmbientMesh, IstioMesh, ServiceMesh
+from .simcore import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmbientMesh",
+    "CanalMesh",
+    "Cluster",
+    "IstioMesh",
+    "MeshGateway",
+    "ServiceMesh",
+    "Simulator",
+    "__version__",
+]

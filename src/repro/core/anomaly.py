@@ -1,0 +1,201 @@
+"""Anomaly classification and the rapid-response dispatcher (§4.2, §6.2).
+
+On a backend alert, the system determines whether the load rise is an
+expensive query, a normal workload increase, a DDoS attack, or
+undetermined, then responds:
+
+* normal growth → precise scaling (RCA + Reuse/New);
+* attack signature (#sessions surging without matching RPS) → lossy
+  sandbox migration;
+* abnormal-but-stable (slow unusual growth, odd scaling cadence) →
+  lossless sandbox migration;
+* undetermined → sandbox as well (protect the other tenants first).
+
+Tenant-level alerts (user cluster near saturation) trigger gateway
+throttling and auto-scaling suspension until the customer's own scaling
+catches up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..simcore import Simulator
+from .gateway import MeshGateway
+from .monitoring import Alert, GatewayMonitor
+from .rca import RcaResult, RootCauseAnalyzer
+from .sandbox import SandboxManager
+from .scaling import ScalingEngine
+
+__all__ = ["AnomalySignals", "classify", "RapidResponder", "ResponseRecord"]
+
+NORMAL_GROWTH = "workload_growth"
+EXPENSIVE_QUERY = "expensive_query"
+DDOS = "ddos"
+UNDETERMINED = "undetermined"
+
+
+@dataclass(frozen=True)
+class AnomalySignals:
+    """Observed ratios over the detection window for one service."""
+
+    rps_growth: float            # recent / previous RPS
+    session_growth: float        # recent / previous #sessions
+    water_growth: float          # recent / previous backend water level
+    scaling_ops_last_hour: int = 0
+
+
+def classify(signals: AnomalySignals) -> str:
+    """The paper's four-way determination (§4.2 backend-level alert).
+
+    * Sessions surging far beyond RPS is the Case #1 attack signature
+      ("#TCP sessions surged without a corresponding increase in RPS").
+    * Water rising without RPS movement points at an expensive query.
+    * Proportional RPS/session/water growth is normal workload growth.
+    * Anything else is undetermined.
+    """
+    if signals.session_growth >= 2.0 and signals.rps_growth < 1.3:
+        return DDOS
+    if signals.water_growth >= 1.5 and signals.rps_growth < 1.2:
+        return EXPENSIVE_QUERY
+    if signals.rps_growth >= 1.2 and (
+            signals.session_growth <= signals.rps_growth * 1.5):
+        return NORMAL_GROWTH
+    return UNDETERMINED
+
+
+@dataclass
+class ResponseRecord:
+    """What the responder did about one alert."""
+
+    alert: Alert
+    classification: str
+    action: str                  # "scale" | "sandbox_lossy" | ...
+    rca: Optional[RcaResult] = None
+    service_id: Optional[int] = None
+
+
+class RapidResponder:
+    """Wires monitor alerts to RCA, scaling, sandboxing, and throttling."""
+
+    def __init__(self, sim: Simulator, gateway: MeshGateway,
+                 monitor: GatewayMonitor, scaling: ScalingEngine,
+                 sandbox: SandboxManager,
+                 analyzer: Optional[RootCauseAnalyzer] = None,
+                 signal_provider=None):
+        self.sim = sim
+        self.gateway = gateway
+        self.monitor = monitor
+        self.scaling = scaling
+        self.sandbox = sandbox
+        self.analyzer = analyzer or RootCauseAnalyzer(gateway, monitor)
+        #: Callable(service_id) -> AnomalySignals; experiments inject the
+        #: trace-derived signals here.
+        self.signal_provider = signal_provider or self._default_signals
+        self.responses: List[ResponseRecord] = []
+        #: Tenants whose gateway auto-scaling is suspended (tenant alert).
+        self.autoscaling_suspended: Dict[str, bool] = {}
+        monitor.subscribe(self.on_alert)
+
+    # -- signal derivation -----------------------------------------------------
+    def _default_signals(self, service_id: int) -> AnomalySignals:
+        """Derive growth ratios from monitored series when no provider."""
+        series = self.monitor.service_series.get(service_id)
+        if series is None or len(series) < 4:
+            return AnomalySignals(rps_growth=1.0, session_growth=1.0,
+                                  water_growth=1.0)
+        values = series.values
+        half = len(values) // 2
+        early = sum(values[:half]) / half
+        late = sum(values[half:]) / (len(values) - half)
+        growth = late / early if early > 0 else float("inf")
+        return AnomalySignals(rps_growth=growth, session_growth=growth,
+                              water_growth=growth)
+
+    # -- alert handling ------------------------------------------------------------
+    def on_alert(self, alert: Alert) -> None:
+        if alert.level == "backend":
+            self._on_backend_alert(alert)
+        elif alert.level == "service":
+            self._on_service_alert(alert)
+        elif alert.level == "tenant":
+            self._on_tenant_alert(alert)
+
+    def _on_backend_alert(self, alert: Alert) -> None:
+        backend = self.gateway.backend_by_name(alert.subject)
+        if "session" in alert.message:
+            rca = self.analyzer.analyze_sessions(backend)
+        else:
+            rca = self.analyzer.analyze(backend)
+        if not rca.found:
+            record = ResponseRecord(alert=alert, classification=UNDETERMINED,
+                                    action="sandbox_lossy", rca=rca)
+            self.responses.append(record)
+            return
+        service_id = rca.service_id
+        signals = self.signal_provider(service_id)
+        classification = classify(signals)
+        if classification == NORMAL_GROWTH:
+            tenant = self._tenant_of(service_id)
+            if tenant is not None and self.autoscaling_suspended.get(tenant):
+                action = "suppressed"
+            else:
+                action = "scale"
+                self.sim.process(self.scaling.scale_service(service_id),
+                                 name=f"scale-{service_id}")
+        elif classification == DDOS:
+            action = "sandbox_lossy"
+            self.sim.process(self.sandbox.migrate_lossy(service_id),
+                             name=f"lossy-{service_id}")
+        elif classification == EXPENSIVE_QUERY:
+            action = "sandbox_lossless"
+            self.sim.process(self.sandbox.migrate_lossless(service_id),
+                             name=f"lossless-{service_id}")
+        else:
+            action = "sandbox_lossy"
+            self.sim.process(self.sandbox.migrate_lossy(service_id),
+                             name=f"lossy-{service_id}")
+        self.responses.append(ResponseRecord(
+            alert=alert, classification=classification, action=action,
+            rca=rca, service_id=service_id))
+
+    def _on_service_alert(self, alert: Alert) -> None:
+        """Auto-scaling tenants get scaled before resources deplete."""
+        service_id = int(alert.subject)
+        tenant = self._tenant_of(service_id)
+        if tenant is not None and self.autoscaling_suspended.get(tenant):
+            self.responses.append(ResponseRecord(
+                alert=alert, classification=NORMAL_GROWTH,
+                action="suppressed", service_id=service_id))
+            return
+        self.sim.process(self.scaling.scale_service(service_id),
+                         name=f"scale-{service_id}")
+        self.responses.append(ResponseRecord(
+            alert=alert, classification=NORMAL_GROWTH, action="scale",
+            service_id=service_id))
+
+    def _on_tenant_alert(self, alert: Alert) -> None:
+        """User cluster saturating: throttle inbound, pause auto-scaling."""
+        tenant = alert.subject
+        self.autoscaling_suspended[tenant] = True
+        for service in self.gateway.registry.services_of(tenant):
+            current = self.gateway.service_rps.get(service.service_id, 0.0)
+            if current > 0:
+                self.sandbox.throttle(service.service_id, current * 0.8)
+        self.responses.append(ResponseRecord(
+            alert=alert, classification=NORMAL_GROWTH, action="throttle"))
+
+    def resume_tenant(self, tenant: str, target_rates: Dict[int, float],
+                      steps: int = 4, interval_s: float = 60.0) -> None:
+        """Customer finished scaling: relax throttles, resume auto-scaling."""
+        self.autoscaling_suspended.pop(tenant, None)
+        for service_id, rate in target_rates.items():
+            if service_id in self.gateway.throttles:
+                self.sim.process(self.sandbox.relax_throttle(
+                    service_id, rate, steps=steps, interval_s=interval_s),
+                    name=f"relax-{service_id}")
+
+    def _tenant_of(self, service_id: int) -> Optional[str]:
+        service = self.gateway.registry.services.get(service_id)
+        return service.tenant.name if service is not None else None

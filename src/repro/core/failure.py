@@ -1,0 +1,116 @@
+"""Failure injection and the hierarchical-recovery audit (§4.2, Fig 8).
+
+The recovery hierarchy under test:
+
+1. replica failure → surviving replicas of the backend absorb the load
+   (sessions re-established after a brief disruption);
+2. whole-backend failure → the service's other shuffle-shard backends
+   (same AZ first) keep serving;
+3. AZ failure → DNS steers to the service's backends in other AZs.
+
+:class:`FailureInjector` drives the scenarios; ``availability_report``
+asserts who is up after each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..simcore import Simulator
+from .gateway import MeshGateway
+
+__all__ = ["FailureEvent", "FailureInjector", "availability_report"]
+
+
+@dataclass
+class FailureEvent:
+    """Record of one injected failure (and optional recovery)."""
+
+    scope: str               # "replica" | "backend" | "az"
+    target: str
+    failed_at: float
+    recovered_at: Optional[float] = None
+    #: Sessions disrupted when the failure hit.
+    sessions_disrupted: int = 0
+
+
+class FailureInjector:
+    """Injects failures at the three hierarchy levels."""
+
+    #: Re-established sessions come back after a short disruption.
+    REPLICA_RECONNECT_S = 2.0
+
+    def __init__(self, sim: Simulator, gateway: MeshGateway):
+        self.sim = sim
+        self.gateway = gateway
+        self.events: List[FailureEvent] = []
+
+    # -- replica level -------------------------------------------------------
+    def fail_replica(self, backend_name: str, replica_name: str) -> FailureEvent:
+        backend = self.gateway.backend_by_name(backend_name)
+        replica = backend.fail_replica(replica_name)
+        event = FailureEvent(scope="replica", target=replica_name,
+                             failed_at=self.sim.now,
+                             sessions_disrupted=replica.sessions_used)
+        replica.remove_sessions(replica.sessions_used)
+        self.gateway.refresh_loads()
+        self.events.append(event)
+        return event
+
+    def recover_replica(self, backend_name: str, replica_name: str) -> None:
+        backend = self.gateway.backend_by_name(backend_name)
+        backend.recover_replica(replica_name)
+        self.gateway.refresh_loads()
+        self._mark_recovered("replica", replica_name)
+
+    # -- backend level ----------------------------------------------------------
+    def fail_backend(self, backend_name: str) -> FailureEvent:
+        backend = self.gateway.backend_by_name(backend_name)
+        disrupted = sum(r.sessions_used for r in backend.replicas)
+        self.gateway.fail_backend(backend_name)
+        event = FailureEvent(scope="backend", target=backend_name,
+                             failed_at=self.sim.now,
+                             sessions_disrupted=disrupted)
+        self.events.append(event)
+        return event
+
+    def recover_backend(self, backend_name: str) -> None:
+        self.gateway.recover_backend(backend_name)
+        self._mark_recovered("backend", backend_name)
+
+    # -- AZ level ------------------------------------------------------------------
+    def fail_az(self, az: str) -> FailureEvent:
+        disrupted = sum(r.sessions_used
+                        for b in self.gateway.backends_by_az.get(az, ())
+                        for r in b.replicas)
+        self.gateway.fail_az(az)
+        event = FailureEvent(scope="az", target=az, failed_at=self.sim.now,
+                             sessions_disrupted=disrupted)
+        self.events.append(event)
+        return event
+
+    def recover_az(self, az: str) -> None:
+        self.gateway.recover_az(az)
+        self._mark_recovered("az", az)
+
+    # -- query-of-death cascade (§4.2's shuffle-sharding motivator) ---------------
+    def query_of_death(self, service_id: int) -> List[FailureEvent]:
+        """Take down every backend of one service, one by one."""
+        events = []
+        for backend in list(self.gateway.service_backends.get(service_id, ())):
+            events.append(self.fail_backend(backend.name))
+        return events
+
+    def _mark_recovered(self, scope: str, target: str) -> None:
+        for event in reversed(self.events):
+            if (event.scope == scope and event.target == target
+                    and event.recovered_at is None):
+                event.recovered_at = self.sim.now
+                return
+
+
+def availability_report(gateway: MeshGateway) -> Dict[int, bool]:
+    """service_id → is the service currently reachable."""
+    return {service_id: not gateway.service_outage(service_id)
+            for service_id in gateway.service_backends}

@@ -1,0 +1,193 @@
+"""Traffic migration for in-phase services (§6.3).
+
+Services sharing a backend whose diurnal peaks coincide (phase
+synchronization) threaten sudden CPU surges. Canal periodically samples
+top services per backend, detects in-phase groups, and scatters them:
+
+* **which services to migrate** — prioritize high RPS (fewer migrations
+  move more load) and few long-lasting sessions (faster cut-over);
+  HTTPS traffic is weighted 3× (it costs ~3× the resources);
+* **which backends receive them** — same AZ only, complementary traffic
+  patterns, chosen by the two-stage sampling of the paper: sample
+  candidate backends at the service's HWHM time points (set *G*),
+  shortlist the five lowest, then compare their full 24 h RPS sums
+  (set *G′*) and take the lowest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .backend import Backend
+from .gateway import MeshGateway
+from .rca import pearson
+from .tenancy import TenantService
+
+__all__ = ["DailyProfile", "hwhm_window", "PhaseMonitor", "MigrationPlan"]
+
+
+@dataclass(frozen=True)
+class DailyProfile:
+    """A 24-hour RPS profile, sampled at a fixed interval."""
+
+    samples: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 4:
+            raise ValueError("profile needs at least 4 samples")
+        if any(v < 0 for v in self.samples):
+            raise ValueError("negative RPS in profile")
+
+    @property
+    def peak_index(self) -> int:
+        return max(range(len(self.samples)), key=self.samples.__getitem__)
+
+    @property
+    def peak(self) -> float:
+        return self.samples[self.peak_index]
+
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def at(self, indices: Sequence[int]) -> List[float]:
+        return [self.samples[i % len(self.samples)] for i in indices]
+
+
+def hwhm_window(profile: DailyProfile) -> Tuple[int, int]:
+    """Half-width-at-half-maximum window around the peak (sample indices).
+
+    The contiguous index range around the peak where the profile stays
+    at or above half of (peak + floor)/... — conventional HWHM uses
+    half of the maximum above the baseline.
+    """
+    floor = min(profile.samples)
+    half = floor + (profile.peak - floor) / 2.0
+    lo = profile.peak_index
+    hi = profile.peak_index
+    n = len(profile.samples)
+    while lo > 0 and profile.samples[lo - 1] >= half:
+        lo -= 1
+    while hi < n - 1 and profile.samples[hi + 1] >= half:
+        hi += 1
+    return lo, hi
+
+
+@dataclass
+class MigrationPlan:
+    """One planned service move."""
+
+    service_id: int
+    from_backend: str
+    to_backend: str
+    reason: str = "in-phase"
+
+
+class PhaseMonitor:
+    """Detects in-phase services and plans scatter migrations."""
+
+    def __init__(self, gateway: MeshGateway,
+                 correlation_threshold: float = 0.8,
+                 top_services: int = 5, shortlist_size: int = 5,
+                 hwhm_sample_points: int = 10):
+        self.gateway = gateway
+        self.correlation_threshold = correlation_threshold
+        self.top_services = top_services
+        self.shortlist_size = shortlist_size
+        self.hwhm_sample_points = hwhm_sample_points
+        #: 24 h profiles per service and per backend, fed by experiments.
+        self.service_profiles: Dict[int, DailyProfile] = {}
+        self.backend_profiles: Dict[str, DailyProfile] = {}
+
+    # -- detection ----------------------------------------------------------
+    def in_phase_groups(self, backend: Backend) -> List[List[int]]:
+        """Top services on a backend whose profiles are phase-locked."""
+        candidates = [sid for sid in backend.top_services(self.top_services)
+                      if sid in self.service_profiles]
+        groups: List[List[int]] = []
+        for service_id in candidates:
+            placed = False
+            for group in groups:
+                anchor = self.service_profiles[group[0]]
+                mine = self.service_profiles[service_id]
+                if pearson(anchor.samples, mine.samples) \
+                        >= self.correlation_threshold:
+                    group.append(service_id)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([service_id])
+        return [group for group in groups if len(group) >= 2]
+
+    # -- candidate selection (which services move) --------------------------------
+    def rank_migration_candidates(self, group: Sequence[int]) -> List[int]:
+        """Order a phase-locked group by migration preference.
+
+        Weighted RPS descending (HTTPS 3×), long-session fraction
+        ascending. All but the anchor (the heaviest stays put only if
+        the group has a single other member — moving the highest-RPS
+        services first minimizes the number of moves).
+        """
+        def sort_key(service_id: int):
+            service = self.gateway.registry.services.get(service_id)
+            profile = self.service_profiles[service_id]
+            weight = service.request_weight if service else 1.0
+            long_fraction = (service.long_session_fraction
+                             if service else 0.0)
+            return (-(profile.peak * weight), long_fraction)
+
+        return sorted(group, key=sort_key)
+
+    # -- target selection (which backends receive) -----------------------------------
+    def choose_target_backend(self, service_id: int,
+                              source: Backend) -> Optional[Backend]:
+        """The paper's two-stage G/G′ sampling, same-AZ only."""
+        profile = self.service_profiles.get(service_id)
+        if profile is None:
+            return None
+        lo, hi = hwhm_window(profile)
+        span = max(1, hi - lo)
+        points = [lo + round(i * span / max(1, self.hwhm_sample_points - 1))
+                  for i in range(self.hwhm_sample_points)]
+        candidates = [
+            b for b in self.gateway.backends_by_az.get(source.az, ())
+            if b.name != source.name and b.is_healthy
+            and not b.hosts_service(service_id)
+            and b.name in self.backend_profiles
+        ]
+        if not candidates:
+            return None
+        # Stage 1: G — candidate load at the service's HWHM time points.
+        def g_sum(backend: Backend) -> float:
+            return sum(self.backend_profiles[backend.name].at(points))
+
+        shortlist = sorted(candidates, key=g_sum)[:self.shortlist_size]
+        # Stage 2: G' — full-24h load of the shortlist.
+        def g_prime_sum(backend: Backend) -> float:
+            return self.backend_profiles[backend.name].total()
+
+        return min(shortlist, key=g_prime_sum)
+
+    # -- planning ----------------------------------------------------------------------
+    def plan_for_backend(self, backend: Backend) -> List[MigrationPlan]:
+        """Scatter every in-phase group on a backend (anchor stays)."""
+        plans: List[MigrationPlan] = []
+        for group in self.in_phase_groups(backend):
+            ranked = self.rank_migration_candidates(group)
+            # Keep one service of the group in place; move the rest.
+            for service_id in ranked[:-1]:
+                target = self.choose_target_backend(service_id, backend)
+                if target is None:
+                    continue
+                plans.append(MigrationPlan(
+                    service_id=service_id, from_backend=backend.name,
+                    to_backend=target.name))
+        return plans
+
+    def execute(self, plan: MigrationPlan) -> None:
+        """Transparent migration: extend to target, shrink from source."""
+        target = self.gateway.backend_by_name(plan.to_backend)
+        source = self.gateway.backend_by_name(plan.from_backend)
+        if not target.hosts_service(plan.service_id):
+            self.gateway.extend_service(plan.service_id, target)
+        self.gateway.shrink_service(plan.service_id, source)

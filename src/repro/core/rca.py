@@ -1,0 +1,143 @@
+"""Root cause analysis: which service is driving a backend's load (§4.3).
+
+Two algorithms, exactly as deployed:
+
+* **basic** — sample the top services on the hot backend and test
+  whether each service's recent RPS trend aligns with the backend's
+  water-level trend (correlation + growth), picking the best match;
+* **intersection** — when several backends run hot simultaneously,
+  intersect their configured service sets; a singleton intersection is
+  very likely the culprit. The paper runs this *once* as an initial
+  speculation and reverts to the basic algorithm when it fails.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .backend import Backend
+from .gateway import MeshGateway
+from .monitoring import GatewayMonitor
+
+__all__ = ["RcaResult", "RootCauseAnalyzer", "pearson"]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; 0.0 when either side is constant/degenerate."""
+    n = min(len(xs), len(ys))
+    if n < 2:
+        return 0.0
+    xs, ys = list(xs[-n:]), list(ys[-n:])
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass
+class RcaResult:
+    """Outcome of one analysis."""
+
+    service_id: Optional[int]
+    method: str            # "intersection" | "basic" | "none"
+    confidence: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.service_id is not None
+
+
+class RootCauseAnalyzer:
+    """Pinpoints the service behind a backend water-level rise."""
+
+    def __init__(self, gateway: MeshGateway, monitor: GatewayMonitor,
+                 window_s: float = 30.0, top_services: int = 5,
+                 correlation_threshold: float = 0.6,
+                 growth_threshold: float = 1.2):
+        self.gateway = gateway
+        self.monitor = monitor
+        self.window_s = window_s
+        self.top_services = top_services
+        self.correlation_threshold = correlation_threshold
+        self.growth_threshold = growth_threshold
+
+    # -- entry point ----------------------------------------------------------
+    def analyze(self, backend: Backend) -> RcaResult:
+        """Intersection speculation once, then the basic algorithm."""
+        hot = self._hot_backends()
+        if len(hot) > 1:
+            speculation = self._intersect(hot)
+            if speculation.found:
+                return speculation
+        return self._basic(backend)
+
+    def analyze_sessions(self, backend: Backend) -> RcaResult:
+        """Pinpoint by session growth (the Case #1 signature hits the
+        SmartNIC table, not the CPU)."""
+        best_id: Optional[int] = None
+        best_growth = 0.0
+        for service_id in backend.top_services_by_sessions(
+                self.top_services):
+            series = self.monitor.service_session_series.get(service_id)
+            if series is None or len(series) < 3:
+                continue
+            values = self.monitor.recent_values(series, self.window_s)
+            if len(values) < 2 or values[0] <= 0:
+                continue
+            growth = values[-1] / values[0]
+            if growth >= self.growth_threshold and growth > best_growth:
+                best_growth = growth
+                best_id = service_id
+        if best_id is None:
+            return RcaResult(service_id=None, method="sessions")
+        return RcaResult(service_id=best_id, method="sessions",
+                         confidence=min(1.0, best_growth / 10.0))
+
+    # -- intersection algorithm ---------------------------------------------------
+    def _hot_backends(self) -> List[Backend]:
+        threshold = self.monitor.backend_alert_threshold
+        return [b for b in self.gateway.all_backends
+                if b.water_level() > threshold]
+
+    def _intersect(self, hot_backends: List[Backend]) -> RcaResult:
+        common = set(hot_backends[0].configured_services)
+        for backend in hot_backends[1:]:
+            common &= backend.configured_services
+        if len(common) == 1:
+            return RcaResult(service_id=next(iter(common)),
+                             method="intersection", confidence=0.9)
+        return RcaResult(service_id=None, method="intersection")
+
+    # -- basic algorithm --------------------------------------------------------------
+    def _basic(self, backend: Backend) -> RcaResult:
+        water_series = self.monitor.backend_series.get(backend.name)
+        if water_series is None or len(water_series) < 3:
+            return RcaResult(service_id=None, method="none")
+        water = self.monitor.recent_values(water_series, self.window_s)
+        best_id: Optional[int] = None
+        best_score = 0.0
+        for service_id in backend.top_services(self.top_services):
+            rps_series = self.monitor.service_series.get(service_id)
+            if rps_series is None or len(rps_series) < 3:
+                continue
+            rps = self.monitor.recent_values(rps_series, self.window_s)
+            if len(rps) < 2 or rps[0] <= 0:
+                growth = float("inf") if rps and rps[-1] > 0 else 0.0
+            else:
+                growth = rps[-1] / rps[0]
+            correlation = pearson(rps, water)
+            if (growth >= self.growth_threshold
+                    and correlation >= self.correlation_threshold
+                    and correlation > best_score):
+                best_score = correlation
+                best_id = service_id
+        if best_id is None:
+            return RcaResult(service_id=None, method="basic")
+        return RcaResult(service_id=best_id, method="basic",
+                         confidence=best_score)

@@ -1,0 +1,26 @@
+"""mTLS machinery: cost model, identity, engines, handshake.
+
+The zero-trust layer of the mesh: certificate issuance/verification,
+asymmetric-crypto engines (software / batched AVX-512-style), and the
+handshake orchestration that composes them. The remote key server that
+Canal offloads to lives in ``repro.core.key_server`` (it is part of the
+paper's contribution); it implements the same engine interface.
+"""
+
+from .accelerator import BatchedAccelerator, SoftwareAsymEngine
+from .certs import Certificate, CertificateAuthority, PrivateKey
+from .primitives import CryptoCosts, DEFAULT_CRYPTO_COSTS
+from .tls import HandshakeResult, MtlsSession, mtls_handshake
+
+__all__ = [
+    "BatchedAccelerator",
+    "Certificate",
+    "CertificateAuthority",
+    "CryptoCosts",
+    "DEFAULT_CRYPTO_COSTS",
+    "HandshakeResult",
+    "MtlsSession",
+    "PrivateKey",
+    "SoftwareAsymEngine",
+    "mtls_handshake",
+]

@@ -1,0 +1,51 @@
+"""Crypto cost model: asymmetric vs symmetric operations.
+
+Anchors from the paper (§4.1.3, Appendix A/C):
+
+* Asymmetric crypto is infrequent (handshake-time only) but expensive;
+  symmetric crypto is per-byte and cheap.
+* "No offloading" — software asymmetric crypto on *old* CPU models —
+  completes in ~2 ms (Fig 23).
+* Accelerated asymmetric crypto (QAT / AVX-512, only on newer, ~30 %
+  pricier VM models) is several times cheaper per operation, but the
+  AVX-512 path is batched 8-wide with a ≥1 ms flush timeout (Fig 25).
+* Software crypto on the *new* CPUs is faster than on old ones — which
+  is why under-filled AVX-512 batches can lose to plain software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CryptoCosts", "DEFAULT_CRYPTO_COSTS"]
+
+
+@dataclass(frozen=True)
+class CryptoCosts:
+    """Per-operation crypto costs in seconds (and per byte for symmetric)."""
+
+    #: Software asymmetric op on old CPU models ("no offloading").
+    asym_software_old_cpu_s: float = 2.0e-3
+    #: Software asymmetric op on new (AVX-512-capable) CPU models.
+    asym_software_new_cpu_s: float = 0.8e-3
+    #: Accelerated asymmetric op (QAT or a full AVX-512 batch slot).
+    asym_accelerated_s: float = 0.25e-3
+    #: Symmetric (AES-GCM-style) cost per byte (~2 GB/s).
+    sym_per_byte_s: float = 0.5e-9
+    #: Fixed symmetric record-processing cost per message.
+    sym_setup_s: float = 2e-6
+
+    def symmetric_cost(self, nbytes: int) -> float:
+        """CPU time to encrypt/decrypt ``nbytes`` with the session key."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        return self.sym_setup_s + nbytes * self.sym_per_byte_s
+
+    def asym_software_s(self, new_cpu: bool) -> float:
+        """Software asymmetric cost for the given CPU generation."""
+        if new_cpu:
+            return self.asym_software_new_cpu_s
+        return self.asym_software_old_cpu_s
+
+
+DEFAULT_CRYPTO_COSTS = CryptoCosts()

@@ -1,0 +1,31 @@
+"""CLI: regenerate paper exhibits.
+
+Usage::
+
+    python -m repro.experiments            # list exhibits
+    python -m repro.experiments fig11      # run one and print it
+    python -m repro.experiments all        # run everything (minutes)
+"""
+
+import sys
+import time
+
+from . import EXPERIMENTS, run
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print("usage: python -m repro.experiments <exhibit>|all")
+        print("exhibits:", " ".join(EXPERIMENTS))
+        return 1
+    targets = list(EXPERIMENTS) if argv[1] == "all" else argv[1:]
+    for exp_id in targets:
+        started = time.time()
+        result = run(exp_id)
+        print(result.formatted())
+        print(f"[{exp_id} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,29 @@
+"""Kubernetes-like cluster substrate.
+
+Pods, nodes, services, deployments, a spreading scheduler, and a watch
+stream that mesh control planes subscribe to. Single-tenant by design
+(mirroring upstream K8s); multi-tenancy lives in the Canal gateway.
+"""
+
+from .cluster import Cluster, ClusterNode, SchedulingError, WatchEvent
+from .objects import (
+    Container,
+    Deployment,
+    Pod,
+    PodPhase,
+    ResourceRequest,
+    Service,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "Container",
+    "Deployment",
+    "Pod",
+    "PodPhase",
+    "ResourceRequest",
+    "SchedulingError",
+    "Service",
+    "WatchEvent",
+]

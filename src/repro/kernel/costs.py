@@ -1,0 +1,62 @@
+"""Host kernel cost constants and the path-cost accounting record.
+
+Absolute values are calibrated (see DESIGN.md §4); what the experiments
+rely on is the *structure*: iptables redirection pays extra protocol-
+stack passes and context switches per message, eBPF pays per-message
+context switches only, and Nagle aggregation divides the per-message
+costs by the batch factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelCosts", "PathCost"]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Per-operation CPU costs of the simulated host kernel (seconds)."""
+
+    #: One traversal of the kernel protocol stack (TCP/IP processing).
+    stack_pass_s: float = 15e-6
+    #: One context switch between user tasks (or user/kernel transition
+    #: heavy enough to count, e.g. a socket wakeup).
+    context_switch_s: float = 4e-6
+    #: Copying one byte between buffers (~20 GB/s memcpy).
+    copy_per_byte_s: float = 0.05e-9
+    #: Fixed cost of a socket send/recv syscall pair.
+    socket_op_s: float = 2e-6
+
+    def copy_cost(self, nbytes: int) -> float:
+        return nbytes * self.copy_per_byte_s
+
+
+@dataclass
+class PathCost:
+    """Accumulated cost of moving messages along a redirection path."""
+
+    cpu_s: float = 0.0
+    latency_s: float = 0.0
+    context_switches: int = 0
+    stack_passes: int = 0
+    copies: int = 0
+
+    def __add__(self, other: "PathCost") -> "PathCost":
+        return PathCost(
+            cpu_s=self.cpu_s + other.cpu_s,
+            latency_s=self.latency_s + other.latency_s,
+            context_switches=self.context_switches + other.context_switches,
+            stack_passes=self.stack_passes + other.stack_passes,
+            copies=self.copies + other.copies,
+        )
+
+    def scaled(self, factor: float) -> "PathCost":
+        """Cost multiplied by a rate/count (counts are rounded)."""
+        return PathCost(
+            cpu_s=self.cpu_s * factor,
+            latency_s=self.latency_s * factor,
+            context_switches=round(self.context_switches * factor),
+            stack_passes=round(self.stack_passes * factor),
+            copies=round(self.copies * factor),
+        )

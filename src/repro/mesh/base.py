@@ -1,0 +1,108 @@
+"""The common service-mesh interface all three architectures implement.
+
+A mesh attaches to a (single-tenant) K8s cluster, and then serves the
+two dataplane verbs the workload drivers use:
+
+* ``open_connection(client_pod, service)`` — a process that establishes
+  a (possibly mTLS) connection along the architecture's path;
+* ``request(connection, http_request)`` — a process that carries one
+  request/response exchange and returns an :class:`HttpResponse`.
+
+It also exposes its CPU tiers split into *user-cluster* and *infra*
+resources — the split that the paper's intrusion/cost analysis (Figs 5,
+13) is all about.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from ..k8s import Cluster, Pod
+from ..simcore import Simulator, Summary
+from .costs import DEFAULT_COSTS, MeshCostModel
+from .http import HttpRequest, HttpResponse, RouteTable
+from .policy import AuthorizationTable
+from .proxy import Connection, ProxyTier
+
+__all__ = ["ServiceMesh", "MeshError"]
+
+
+class MeshError(RuntimeError):
+    """Dataplane failure inside a mesh path."""
+
+
+class ServiceMesh(abc.ABC):
+    """Base class for Istio-style, Ambient-style, and Canal meshes."""
+
+    name: str = "mesh"
+
+    def __init__(self, sim: Simulator, costs: MeshCostModel = DEFAULT_COSTS):
+        self.sim = sim
+        self.costs = costs
+        self.cluster: Optional[Cluster] = None
+        self.route_tables: Dict[str, RouteTable] = {}
+        self.authorization = AuthorizationTable()
+        self.latency = Summary(f"{self!r}-latency")
+        self.errors = Summary(f"{self!r}-errors")
+
+    # -- lifecycle ---------------------------------------------------------
+    @abc.abstractmethod
+    def attach(self, cluster: Cluster) -> None:
+        """Bind to a cluster and set up the architecture's proxies."""
+
+    # -- dataplane -----------------------------------------------------------
+    @abc.abstractmethod
+    def open_connection(self, client_pod: Pod, service: str):
+        """Process generator → :class:`Connection` (handshake included)."""
+
+    @abc.abstractmethod
+    def request(self, connection: Connection, request: HttpRequest):
+        """Process generator → :class:`HttpResponse`."""
+
+    # -- resource accounting ---------------------------------------------------
+    @abc.abstractmethod
+    def user_tiers(self) -> List[ProxyTier]:
+        """Proxy tiers consuming the user's purchased cluster resources."""
+
+    def infra_tiers(self) -> List[ProxyTier]:
+        """Proxy tiers on provider infrastructure (Canal's gateway)."""
+        return []
+
+    def user_cpu_seconds(self) -> float:
+        """Total user-cluster proxy CPU consumed so far."""
+        return sum(tier.cpu.busy_time() for tier in self.user_tiers())
+
+    def infra_cpu_seconds(self) -> float:
+        return sum(tier.cpu.busy_time() for tier in self.infra_tiers())
+
+    # -- configuration ------------------------------------------------------------
+    def set_route_table(self, table: RouteTable) -> None:
+        self.route_tables[table.service] = table
+
+    def pick_endpoint(self, service: str,
+                      request: Optional[HttpRequest] = None) -> Pod:
+        """Resolve a service (through its route table, if any) to a pod."""
+        if self.cluster is None:
+            raise MeshError(f"{self.name} is not attached to a cluster")
+        if service not in self.cluster.services:
+            raise MeshError(f"unknown service {service!r}")
+        endpoints = self.cluster.endpoints(service)
+        table = self.route_tables.get(service)
+        if table is not None and request is not None:
+            subset = table.route(request, self.sim.rng)
+            subset_pods = [p for p in endpoints
+                           if p.labels.get("version", "") == subset]
+            if subset_pods:
+                endpoints = subset_pods
+        if not endpoints:
+            raise MeshError(f"service {service!r} has no running endpoints")
+        return self.sim.rng.choice(endpoints)
+
+    def authorize(self, service: str, request: HttpRequest) -> bool:
+        return self.authorization.check(service, request)
+
+    def _require_cluster(self) -> Cluster:
+        if self.cluster is None:
+            raise MeshError(f"{self.name} is not attached to a cluster")
+        return self.cluster

@@ -1,0 +1,63 @@
+"""The no-mesh baseline: client and server directly connected.
+
+Fig 10's "No service mesh" bar: no proxies, no redirection, no crypto —
+just the network hops and the application itself. Implements the common
+interface so the load drivers can run it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..k8s import Cluster, Pod
+from ..simcore import Simulator
+from .base import ServiceMesh
+from .costs import DEFAULT_COSTS, MeshCostModel
+from .http import HttpRequest, HttpResponse
+from .proxy import Connection, ProxyTier
+
+__all__ = ["NoMesh"]
+
+
+class NoMesh(ServiceMesh):
+    """Direct pod-to-pod communication without any mesh dataplane."""
+
+    name = "no-mesh"
+
+    def __init__(self, sim: Simulator, costs: MeshCostModel = DEFAULT_COSTS,
+                 latency_model=None):
+        super().__init__(sim, costs)
+        from ..netsim import LatencyModel
+        self.latency_model = latency_model or LatencyModel()
+
+    def attach(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def open_connection(self, client_pod: Pod, service: str):
+        server_pod = self.pick_endpoint(service)
+        connection = Connection(client=client_pod.name, service=service,
+                                server_pod=server_pod.name,
+                                established_at=self.sim.now)
+        return connection
+        yield  # pragma: no cover - makes this a generator
+
+    def request(self, connection: Connection, request: HttpRequest):
+        cluster = self._require_cluster()
+        start = self.sim.now
+        client_pod = cluster.pods[connection.client]
+        server_pod = cluster.pods.get(connection.server_pod)
+        if server_pod is None:
+            return HttpResponse(status=503, latency_s=self.sim.now - start)
+        src = cluster.node_by_name(client_pod.node_name).host.location
+        dst = cluster.node_by_name(server_pod.node_name).host.location
+        yield self.sim.timeout(self.latency_model.one_way(src, dst))
+        yield self.sim.timeout(self.costs.app_service_time_s)
+        yield self.sim.timeout(self.latency_model.one_way(dst, src))
+        connection.requests_sent += 1
+        latency = self.sim.now - start
+        self.latency.add(latency)
+        return HttpResponse(status=200, latency_s=latency,
+                            served_by=server_pod.name)
+
+    def user_tiers(self) -> List[ProxyTier]:
+        return []

@@ -1,0 +1,70 @@
+"""DNS with AZ-local preference — Canal's customized resolution (§4.2).
+
+"We have customized the DNS resolution logic to ensure requests are
+prioritized to be resolved to available backends within the local AZ for
+optimal latency. Only if all backends in the local AZ are unavailable
+will the requests be resolved to other AZs."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["DnsRecord", "AzAwareResolver", "ResolutionError"]
+
+
+class ResolutionError(LookupError):
+    """No healthy endpoint exists for the requested name."""
+
+
+@dataclass
+class DnsRecord:
+    """One resolvable endpoint of a name."""
+
+    address: str
+    az: str
+    healthy: bool = True
+
+
+@dataclass
+class AzAwareResolver:
+    """Resolver that prefers healthy endpoints in the caller's AZ."""
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    _records: Dict[str, List[DnsRecord]] = field(default_factory=dict)
+
+    def register(self, name: str, address: str, az: str) -> DnsRecord:
+        record = DnsRecord(address, az)
+        self._records.setdefault(name, []).append(record)
+        return record
+
+    def deregister(self, name: str, address: str) -> None:
+        records = self._records.get(name, [])
+        self._records[name] = [r for r in records if r.address != address]
+
+    def set_health(self, name: str, address: str, healthy: bool) -> None:
+        for record in self._records.get(name, []):
+            if record.address == address:
+                record.healthy = healthy
+                return
+        raise KeyError(f"{address} not registered under {name!r}")
+
+    def endpoints(self, name: str) -> List[DnsRecord]:
+        return list(self._records.get(name, []))
+
+    def resolve(self, name: str, client_az: str) -> DnsRecord:
+        """Resolve ``name`` for a client in ``client_az``.
+
+        Healthy local-AZ endpoints win; otherwise any healthy endpoint;
+        otherwise :class:`ResolutionError`. Selection within a tier is
+        uniform random (the load-spreading behaviour of round-robin DNS).
+        """
+        records = self._records.get(name, [])
+        healthy = [r for r in records if r.healthy]
+        if not healthy:
+            raise ResolutionError(f"no healthy endpoints for {name!r}")
+        local = [r for r in healthy if r.az == client_az]
+        pool = local if local else healthy
+        return self.rng.choice(pool)

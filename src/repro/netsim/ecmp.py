@@ -1,0 +1,60 @@
+"""ECMP: stateless equal-cost multi-path hashing at the router.
+
+The paper's LB disaggregation (§4.4) reuses the ECMP ability of the
+router in front of the replicas for load distribution. The crucial
+behaviour reproduced here: hashing is *stateless* — when the next-hop
+list changes, flows may rehash to different replicas, breaking session
+consistency. The Beamer-style redirector (``repro.core.redirector``)
+exists precisely to repair that.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Sequence, TypeVar
+
+from .packet import FiveTuple
+
+__all__ = ["EcmpRouter"]
+
+T = TypeVar("T")
+
+
+class EcmpRouter(Generic[T]):
+    """Hash-mod-N next-hop selection over a mutable replica list."""
+
+    def __init__(self, next_hops: Sequence[T] = (), salt: int = 0):
+        self._next_hops: List[T] = list(next_hops)
+        self.salt = salt
+
+    @property
+    def next_hops(self) -> List[T]:
+        return list(self._next_hops)
+
+    def __len__(self) -> int:
+        return len(self._next_hops)
+
+    def add_next_hop(self, hop: T) -> None:
+        if hop in self._next_hops:
+            raise ValueError(f"duplicate next hop {hop!r}")
+        self._next_hops.append(hop)
+
+    def remove_next_hop(self, hop: T) -> None:
+        self._next_hops.remove(hop)
+
+    def select(self, flow: FiveTuple) -> T:
+        """Pick the next hop for a flow. Pure function of flow and list."""
+        if not self._next_hops:
+            raise RuntimeError("ECMP router has no next hops")
+        index = flow.flow_hash(self.salt) % len(self._next_hops)
+        return self._next_hops[index]
+
+    def would_move(self, flows: Sequence[FiveTuple],
+                   hypothetical_hops: Sequence[T]) -> int:
+        """How many of ``flows`` would land differently under a new list.
+
+        Used in tests/benchmarks to quantify the consistency breakage the
+        redirector must absorb.
+        """
+        other = EcmpRouter(hypothetical_hops, salt=self.salt)
+        return sum(1 for flow in flows
+                   if self.select(flow) != other.select(flow))

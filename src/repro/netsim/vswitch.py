@@ -1,0 +1,77 @@
+"""The vSwitch under gateway VMs: VXLAN stripping + service-ID stamping.
+
+From §4.2: the mesh gateway runs in VMs above the vSwitch, and the
+vSwitch removes the outer VXLAN header before packets reach the VM — so
+the VNI (the only tenant discriminator, given overlapping VPC address
+spaces) would be lost. Canal's fix, reproduced here: before stripping,
+map the VNI (plus inner destination) to a *globally unique service ID*
+and attach it to the inner header metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .packet import Packet
+
+__all__ = ["ServiceIdMapper", "VSwitch", "SERVICE_ID_META_KEY"]
+
+SERVICE_ID_META_KEY = "service_id"
+
+
+class ServiceIdMapper:
+    """Registry of (VNI, inner service address) → global service ID."""
+
+    def __init__(self):
+        self._table: Dict[Tuple[int, str], int] = {}
+        self._next_id = 1
+        self._names: Dict[int, str] = {}
+
+    def register(self, vni: int, inner_ip: str,
+                 service_name: str = "") -> int:
+        """Assign (or return the existing) global ID for a tenant service."""
+        key = (vni, inner_ip)
+        if key not in self._table:
+            self._table[key] = self._next_id
+            self._names[self._table[key]] = service_name or f"svc-{self._next_id}"
+            self._next_id += 1
+        return self._table[key]
+
+    def lookup(self, vni: int, inner_ip: str) -> Optional[int]:
+        return self._table.get((vni, inner_ip))
+
+    def name_of(self, service_id: int) -> str:
+        return self._names.get(service_id, f"svc-{service_id}")
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class VSwitch:
+    """Per-host virtual switch in front of gateway VMs."""
+
+    def __init__(self, mapper: ServiceIdMapper):
+        self.mapper = mapper
+        self.delivered = 0
+        self.dropped_unknown_service = 0
+
+    def deliver_to_vm(self, packet: Packet) -> Optional[Packet]:
+        """Strip VXLAN, stamping the service ID into the inner metadata.
+
+        Returns the inner packet, or ``None`` when the (VNI, dst) pair is
+        unknown — an unregistered tenant service must not reach any VM.
+        Packets that arrive unencapsulated (e.g. intra-gateway traffic)
+        pass through untouched.
+        """
+        if packet.vxlan is None:
+            self.delivered += 1
+            return packet
+        service_id = self.mapper.lookup(packet.vxlan.vni,
+                                        packet.five_tuple.dst_ip)
+        if service_id is None:
+            self.dropped_unknown_service += 1
+            return None
+        inner = packet.decapsulate()
+        inner.meta[SERVICE_ID_META_KEY] = service_id
+        self.delivered += 1
+        return inner

@@ -1,0 +1,43 @@
+"""Discrete-event simulation core.
+
+A minimal, dependency-free engine in the simpy tradition: a
+:class:`Simulator` with an event agenda, generator-driven processes,
+capacity resources with utilization accounting, and measurement
+primitives. Every higher layer of the Canal Mesh reproduction runs on
+top of this package.
+"""
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    PENDING,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .metrics import Counter, Summary, TimeSeries, cdf, percentile
+from .resources import CpuResource, Request, Resource, Store
+from .sim import Simulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "CpuResource",
+    "Event",
+    "Interrupt",
+    "PENDING",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Summary",
+    "TimeSeries",
+    "Timeout",
+    "cdf",
+    "percentile",
+]

@@ -1,0 +1,297 @@
+"""Event primitives for the discrete-event simulation core.
+
+The design follows the classic event/process pattern (as popularized by
+simpy): an :class:`Event` is a one-shot value holder that fires at a
+simulated time, and a :class:`Process` drives a Python generator that
+yields events to wait on.
+
+Events move through three states:
+
+* *pending* — created, not yet triggered.
+* *triggered* — a value (or failure) has been set and the event is
+  scheduled on the simulator's agenda.
+* *processed* — the simulator has popped the event and run its callbacks.
+
+Callbacks added after processing are scheduled on a zero-delay trampoline
+event so that late subscribers still observe the result. This makes
+``yield some_event`` safe regardless of ordering, which keeps model code
+simple.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class _Pending:
+    """Sentinel marking an event that has not been triggered yet."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (not model failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when it is interrupted.
+
+    ``cause`` carries an arbitrary, model-defined payload describing why
+    the interrupt happened (e.g. "migrated", "throttled").
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether a value or failure has been set."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception for failed events)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Set the event's value and schedule it after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Fail the event with ``exception`` and schedule it."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event was already processed, the callback is scheduled to
+        run at the current simulated time instead of being dropped.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            trampoline = Event(self.sim)
+            trampoline.callbacks.append(lambda _ev: callback(self))
+            trampoline._ok = True
+            trampoline._value = None
+            self.sim._schedule(trampoline, 0.0)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback if still pending."""
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator won't raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """Drives a generator; the process event fires when the generator ends.
+
+    The generator yields :class:`Event` instances. When a yielded event is
+    processed, the generator resumes with the event's value (or the
+    exception is thrown in for failed events).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        sim._schedule(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator is still running."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the generator at the current time."""
+        if self.triggered:
+            return
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        poke = Event(self.sim)
+        poke.callbacks.append(self._resume)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke._defused = True
+        self.sim._schedule(poke, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # The process already ended (e.g. an interrupt raced with a
+            # pending wait target); ignore stale wake-ups.
+            return
+        if self._target is not None and self._target is not event:
+            self._target.remove_callback(self._resume)
+        self._target = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires once all child events succeed; value is the list of values.
+
+    Fails as soon as any child fails (with that child's exception).
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._events:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child._ok:
+            child._defused = True
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([event._value for event in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event triggers.
+
+    Value is a ``(event, value)`` tuple identifying the winner. A failing
+    first child fails this condition.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for child in self._events:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._ok:
+            self.succeed((child, child._value))
+        else:
+            child._defused = True
+            self.fail(child._value)

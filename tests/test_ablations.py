@@ -1,0 +1,102 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_chain_length,
+    ablation_ebpf_nagle,
+    ablation_health_aggregation_levels,
+    ablation_incremental_push,
+    ablation_precise_vs_blind_scaling,
+    ablation_shuffle_sharding,
+    ablation_tunnel_count,
+)
+
+
+class TestShardingAblation:
+    def test_shuffle_sharding_eliminates_collateral(self):
+        result = ablation_shuffle_sharding()
+        assert result.findings["shuffled_collateral"] == 0.0
+        assert result.findings["naive_collateral"] >= 1.0
+
+
+class TestChainAblation:
+    def test_canal_chains_survive_cascades(self):
+        result = ablation_chain_length()
+        assert result.findings["kept_fraction_chain4"] == 1.0
+
+    def test_beamer_chains_lose_sessions(self):
+        result = ablation_chain_length()
+        assert result.findings["kept_fraction_chain2"] < 1.0
+
+
+class TestHealthAblation:
+    def test_levels_compound(self):
+        result = ablation_health_aggregation_levels()
+        table = result.tables[0]
+        reductions = table.column("reduction")
+        assert reductions == sorted(reductions)
+        assert result.findings["full_reduction"] > 0.996
+
+
+class TestNagleAblation:
+    def test_saving_only_below_mss(self):
+        result = ablation_ebpf_nagle()
+        assert result.findings["small_packet_ctx_saving"] > 0.5
+        assert result.findings["large_packet_ctx_saving"] == 0.0
+
+    def test_saving_monotone_in_size(self):
+        result = ablation_ebpf_nagle()
+        with_nagle = result.series_named("ctx_per_s_nagle").ys
+        without = result.series_named("ctx_per_s_no_nagle").ys
+        savings = [1 - a / b for a, b in zip(with_nagle, without)]
+        assert savings == sorted(savings, reverse=True)
+
+
+class TestScalingAblation:
+    def test_precise_beats_blind(self):
+        result = ablation_precise_vs_blind_scaling()
+        assert result.findings["precise_ops"] < result.findings["blind_ops"]
+        assert (result.findings["precise_time_s"]
+                < result.findings["blind_time_s"])
+
+
+class TestTunnelAblation:
+    def test_more_tunnels_better_balance(self):
+        result = ablation_tunnel_count()
+        table = result.tables[0]
+        imbalance = table.column("core_imbalance")
+        assert imbalance[-1] <= imbalance[0]
+
+    def test_session_reduction(self):
+        result = ablation_tunnel_count()
+        assert result.findings["session_reduction_at_10x"] > 0.999
+
+
+class TestIncrementalAblation:
+    def test_gap_grows_with_cluster(self):
+        result = ablation_incremental_push(pod_counts=(100, 400))
+        assert (result.findings["full_over_incremental_large"]
+                > result.findings["full_over_incremental_small"])
+
+
+class TestPeakShavingAblation:
+    def test_staggered_saves_synchronized_does_not(self):
+        from repro.experiments.ablations import ablation_peak_shaving
+        result = ablation_peak_shaving()
+        assert result.findings["saving_staggered"] > 0.3
+        assert result.findings["saving_synchronized"] < 0.1
+
+
+class TestSensitivityStudies:
+    def test_orderings_robust_to_calibration(self):
+        from repro.experiments.sensitivity import (
+            sensitivity_cost_calibration)
+        result = sensitivity_cost_calibration(scales=(0.7, 1.3))
+        assert result.findings["ordering_holds_everywhere"] == 1.0
+
+    def test_lb_disaggregation_bands(self):
+        from repro.experiments.sensitivity import lb_disaggregation_latency
+        result = lb_disaggregation_latency()
+        assert (result.findings["disaggregated_p90_ms"]
+                < result.findings["dedicated_p10_ms"])

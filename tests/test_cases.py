@@ -1,0 +1,101 @@
+"""Tests for the scripted production cases (§6.2, §2.1)."""
+
+import pytest
+
+from repro.experiments.cases import (
+    case1_lossy_migration,
+    case2_lossless_migration,
+    case3_hotspot_throttling,
+    case_cross_region_vpn,
+)
+
+
+class TestCase1LossyMigration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return case1_lossy_migration()
+
+    def test_attack_classified_as_ddos(self, result):
+        assert result.findings["classified_ddos"] >= 1
+
+    def test_exactly_one_migration(self, result):
+        """Several backends alert on the same flood; the responses
+        coalesce into a single migration."""
+        assert result.findings["lossy_migrations"] == 1
+
+    def test_sessions_reset(self, result):
+        assert result.findings["sessions_reset"] > 100_000
+
+    def test_completes_within_seconds(self, result):
+        assert result.findings["migration_duration_s"] < 15.0
+
+    def test_peers_unaffected(self, result):
+        assert result.findings["peers_unaffected"] == 1.0
+
+
+class TestCase2LosslessMigration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return case2_lossless_migration()
+
+    def test_autoscaling_kept_firing(self, result):
+        assert result.findings["scaling_events"] >= 2
+
+    def test_lossless_migration_happened(self, result):
+        assert result.findings["lossless_migrations"] == 1
+
+    def test_no_sessions_reset(self, result):
+        assert result.findings["sessions_reset"] == 0
+
+    def test_takes_minutes_not_seconds(self, result):
+        """Completion bounded by existing-flow timeout: median ~20 min."""
+        assert 5.0 < result.findings["migration_duration_min"] < 90.0
+
+
+class TestCase3Hotspot:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return case3_hotspot_throttling()
+
+    def test_cascade_without_throttling(self, result):
+        """The cross-platform query of death: every platform dies."""
+        assert result.findings["platforms_down_without"] == 3
+
+    def test_throttling_prevents_cascade(self, result):
+        assert result.findings["platforms_down_with"] == 0
+        assert result.findings["a_survives_with_throttle"] == 1.0
+
+
+class TestCrossRegionVpn:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Full incident scale: smaller clusters don't saturate the VPN.
+        return case_cross_region_vpn(pods=1000, updates=8)
+
+    def test_100mbps_delays_much_larger(self, result):
+        assert result.findings["delay_ratio"] > 5.0
+
+    def test_queue_grows_on_saturated_vpn(self, result):
+        """Updates arrive faster than the link drains them."""
+        assert result.findings["queue_growth_100mbps"] > 1.5
+
+    def test_1gbps_is_timely(self, result):
+        assert result.findings["p50_delay_1gbps"] < 5.0
+
+
+class TestPhaseMigrationCase:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.cases import case_phase_migration
+        return case_phase_migration()
+
+    def test_in_phase_group_detected(self, result):
+        assert result.findings["in_phase_groups"] >= 1
+
+    def test_migrations_scatter_the_group(self, result):
+        assert result.findings["migrations_executed"] >= 2
+
+    def test_daily_peak_reduced(self, result):
+        assert (result.findings["peak_water_after"]
+                < result.findings["peak_water_before"])
+        assert result.findings["peak_reduction"] > 0.2

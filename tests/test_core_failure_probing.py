@@ -1,0 +1,158 @@
+"""Tests for failure injection/recovery and full-mesh probing."""
+
+import pytest
+
+from repro.core import (
+    FailureInjector,
+    GatewayConfig,
+    MeshGateway,
+    ProbeMesh,
+    availability_report,
+)
+from repro.core.probing import APP_TYPES
+from repro.core.replica import ReplicaConfig
+from repro.simcore import Simulator
+
+
+def make_gateway(sim, services=5, backends_per_az=6):
+    config = GatewayConfig(
+        replicas_per_backend=2, backends_per_service_per_az=2,
+        azs_per_service=2,
+        replica=ReplicaConfig(cores=8, request_cost_s=100e-6))
+    gateway = MeshGateway(sim, config)
+    gateway.deploy_initial(["az1", "az2"], backends_per_az)
+    out = []
+    for index in range(services):
+        tenant = gateway.registry.add_tenant(f"t{index + 1}")
+        service = gateway.registry.add_service(tenant, "web",
+                                               f"10.0.0.{index + 1}")
+        gateway.register_service(service)
+        gateway.set_service_load(service.service_id, 20_000.0)
+        out.append(service)
+    return gateway, out
+
+
+@pytest.fixture
+def sim():
+    return Simulator(33)
+
+
+class TestFailureInjector:
+    def test_replica_failure_recorded_with_sessions(self, sim):
+        gateway, services = make_gateway(sim)
+        injector = FailureInjector(sim, gateway)
+        backend = gateway.all_backends[0]
+        backend.replicas[0].add_sessions(1234)
+        event = injector.fail_replica(backend.name,
+                                      backend.replicas[0].name)
+        assert event.sessions_disrupted == 1234
+        assert backend.replicas[0].sessions_used == 0
+
+    def test_replica_recovery_marks_event(self, sim):
+        gateway, services = make_gateway(sim)
+        injector = FailureInjector(sim, gateway)
+        backend = gateway.all_backends[0]
+        injector.fail_replica(backend.name, backend.replicas[0].name)
+        injector.recover_replica(backend.name, backend.replicas[0].name)
+        assert injector.events[0].recovered_at is not None
+
+    def test_replica_failure_keeps_service_up(self, sim):
+        gateway, services = make_gateway(sim)
+        injector = FailureInjector(sim, gateway)
+        sid = services[0].service_id
+        backend = gateway.service_backends[sid][0]
+        injector.fail_replica(backend.name, backend.replicas[0].name)
+        assert availability_report(gateway)[sid]
+
+    def test_backend_failure_keeps_service_up(self, sim):
+        gateway, services = make_gateway(sim)
+        injector = FailureInjector(sim, gateway)
+        sid = services[0].service_id
+        injector.fail_backend(gateway.service_backends[sid][0].name)
+        assert availability_report(gateway)[sid]
+
+    def test_az_failure_keeps_services_up(self, sim):
+        gateway, services = make_gateway(sim)
+        injector = FailureInjector(sim, gateway)
+        injector.fail_az("az1")
+        report = availability_report(gateway)
+        assert all(report.values())
+        injector.recover_az("az1")
+
+    def test_query_of_death_isolated_by_sharding(self, sim):
+        """The Fig 8 scenario: one service's entire combination dies;
+        the others stay up."""
+        gateway, services = make_gateway(sim)
+        injector = FailureInjector(sim, gateway)
+        victim = services[0].service_id
+        events = injector.query_of_death(victim)
+        assert len(events) == len(gateway.service_backends[victim])
+        report = availability_report(gateway)
+        assert not report[victim]
+        for other in services[1:]:
+            assert report[other.service_id]
+
+
+class TestProbeMesh:
+    def test_deploys_probes_per_az_and_type(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1", "az2"])
+        assert len(probes._probe_services) == 2 * len(APP_TYPES)
+
+    def test_full_mesh_round_size(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1", "az2"])
+        results = probes.run_round()
+        assert len(results) == 2 * 2 * len(APP_TYPES)
+
+    def test_healthy_matrix_proves_innocence(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1", "az2"])
+        probes.run_round()
+        assert probes.matrix_ok()
+        assert probes.innocence_proof("az1", "https")
+
+    def test_outage_breaks_innocence(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1", "az2"])
+        https_az1 = probes._probe_services[("az1", "https")]
+        for backend in gateway.service_backends[https_az1.service_id]:
+            gateway.fail_backend(backend.name)
+        probes.run_round()
+        assert not probes.matrix_ok()
+        assert not probes.innocence_proof("az1", "https")
+
+    def test_failure_matrix_localizes(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1", "az2"])
+        grpc_az2 = probes._probe_services[("az2", "grpc")]
+        for backend in gateway.service_backends[grpc_az2.service_id]:
+            gateway.fail_backend(backend.name)
+        probes.run_round()
+        matrix = probes.failure_matrix()
+        assert matrix[("az1", "az2", "grpc")] == 1.0
+        assert matrix[("az1", "az2", "http")] == 0.0
+
+    def test_periodic_probing(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1"])
+        sim.process(probes.run_periodic(interval_s=10.0, rounds=3))
+        sim.run()
+        assert len(probes.results) == 3 * len(APP_TYPES)
+
+    def test_latency_reflects_water_level(self, sim):
+        gateway, services = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1", "az2"])
+        calm = probes.probe_once("az1", "az2", "http")
+        target = probes._probe_services[("az2", "http")]
+        # Overload the probe target's backends.
+        gateway.set_service_load(target.service_id, 1_000_000.0)
+        busy = probes.probe_once("az1", "az2", "http")
+        assert busy.latency_s > calm.latency_s
+
+    def test_window_filters_old_results(self, sim):
+        gateway, _ = make_gateway(sim)
+        probes = ProbeMesh(sim, gateway, azs=["az1"])
+        probes.run_round()
+        sim.now = 1000.0
+        assert not probes.matrix_ok(window_s=10.0)

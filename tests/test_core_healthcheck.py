@@ -1,0 +1,106 @@
+"""Tests for health-check multi-level aggregation (§6.1)."""
+
+import pytest
+
+from repro.core import HealthCheckPlan, ServicePlacement
+
+
+def placement(service_id, backends, apps):
+    return ServicePlacement(service_id=service_id,
+                            backend_names=tuple(backends),
+                            app_endpoints=frozenset(apps))
+
+
+def simple_plan(replicas=4, cores=8):
+    placements = [
+        placement(1, ["b1", "b2"], ["app1", "app2"]),
+        placement(2, ["b1"], ["app2", "app3"]),
+    ]
+    return HealthCheckPlan(placements, replicas_per_backend=replicas,
+                           cores_per_replica=cores)
+
+
+class TestBaseVolume:
+    def test_base_counts_every_prober(self):
+        plan = simple_plan(replicas=4, cores=8)
+        # svc1: 2 backends x 4 x 8 x 2 apps = 128; svc2: 1 x 4 x 8 x 2 = 64.
+        assert plan.base_rps() == 128 + 64
+
+    def test_probe_rate_scales(self):
+        placements = [placement(1, ["b1"], ["a"])]
+        plan = HealthCheckPlan(placements, replicas_per_backend=1,
+                               cores_per_replica=1,
+                               probe_rate_per_target_s=5.0)
+        assert plan.base_rps() == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthCheckPlan([], replicas_per_backend=0)
+        with pytest.raises(ValueError):
+            placement(1, [], ["a"])
+        with pytest.raises(ValueError):
+            placement(1, ["b1"], [])
+
+
+class TestAggregationLevels:
+    def test_service_level_dedupes_overlap(self):
+        plan = simple_plan(replicas=4, cores=8)
+        # b1 probes union {app1,app2,app3}=3 targets; b2 probes 2.
+        assert plan.service_level_rps() == (3 + 2) * 4 * 8
+
+    def test_no_overlap_no_service_saving(self):
+        """Table 7 Case 3: disjoint app sets → Base == Service-level."""
+        placements = [
+            placement(1, ["b1"], ["a1", "a2"]),
+            placement(2, ["b2"], ["a3", "a4"]),
+        ]
+        plan = HealthCheckPlan(placements, replicas_per_backend=2,
+                               cores_per_replica=2)
+        assert plan.base_rps() == plan.service_level_rps()
+
+    def test_core_level_divides_by_cores(self):
+        plan = simple_plan(replicas=4, cores=8)
+        assert plan.core_level_rps() == plan.service_level_rps() / 8
+
+    def test_replica_level_divides_by_replicas(self):
+        plan = simple_plan(replicas=4, cores=8)
+        assert plan.replica_level_rps() == plan.core_level_rps() / 4
+
+    def test_stages_monotonically_decrease(self):
+        stages = simple_plan().reduction()
+        assert (stages.base >= stages.service_level
+                >= stages.core_level >= stages.replica_level)
+
+    def test_paper_scale_reduction(self):
+        """At production replica/core counts the three levels cut
+        >= 99.6 % of probes (Table 7)."""
+        placements = [
+            placement(1, ["b1", "b2", "b3"], [f"a{i}" for i in range(6)]),
+            placement(2, ["b1", "b2"], [f"a{i}" for i in range(4, 9)]),
+        ]
+        plan = HealthCheckPlan(placements, replicas_per_backend=32,
+                               cores_per_replica=16)
+        assert plan.reduction().reduction >= 0.996
+
+
+class TestPerAppView:
+    def test_app_receives_from_every_prober(self):
+        plan = simple_plan(replicas=4, cores=8)
+        # app2 is probed by svc1 (b1,b2) and svc2 (b1): (2+1) x 32.
+        assert plan.probes_received_by_app("app2") == 3 * 32
+
+    def test_aggregated_app_receives_once_per_backend(self):
+        plan = simple_plan(replicas=4, cores=8)
+        # app2's backends: {b1, b2} → 2 probes/s.
+        assert plan.probes_received_by_app("app2", aggregated=True) == 2
+
+    def test_unknown_app_receives_nothing(self):
+        assert simple_plan().probes_received_by_app("ghost") == 0
+
+    def test_excess_ratio_shape(self):
+        """Table 6: probe volume can exceed app traffic by hundreds x."""
+        plan = HealthCheckPlan(
+            [placement(1, ["b1", "b2", "b3"], ["app1"])],
+            replicas_per_backend=32, cores_per_replica=16)
+        app_rps = 21.0
+        assert plan.base_rps() / app_rps > 50

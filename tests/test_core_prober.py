@@ -1,0 +1,122 @@
+"""Tests for the active health-check prober."""
+
+import pytest
+
+from repro.core.prober import AppEndpoint, HealthCheckProxy
+from repro.simcore import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(0)
+
+
+def make_prober(sim, endpoints=3, **kwargs):
+    targets = [AppEndpoint(f"10.0.0.{i + 1}") for i in range(endpoints)]
+    prober = HealthCheckProxy(sim, "backend-1", targets, **kwargs)
+    return prober, targets
+
+
+class TestProbing:
+    def test_round_probes_every_target(self, sim):
+        prober, targets = make_prober(sim)
+        prober.probe_round()
+        assert all(t.probes_received == 1 for t in targets)
+        assert prober.probes_sent == 3
+
+    def test_periodic_probing(self, sim):
+        prober, targets = make_prober(sim, interval_s=1.0)
+        prober.start()
+        sim.run(until=5.5)
+        assert targets[0].probes_received == 6  # t = 0..5
+
+    def test_double_start_rejected(self, sim):
+        prober, _ = make_prober(sim)
+        prober.start()
+        with pytest.raises(RuntimeError):
+            prober.start()
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            make_prober(sim, interval_s=0.0)
+        with pytest.raises(ValueError):
+            make_prober(sim, failure_threshold=0)
+
+
+class TestDetection:
+    def test_failure_detected_after_threshold(self, sim):
+        prober, targets = make_prober(sim, failure_threshold=3)
+        targets[0].healthy = False
+        prober.probe_round()
+        prober.probe_round()
+        assert prober.view[targets[0].address]  # not yet
+        prober.probe_round()
+        assert not prober.view[targets[0].address]
+        assert len(prober.transitions) == 1
+
+    def test_flapping_does_not_transition(self, sim):
+        prober, targets = make_prober(sim, failure_threshold=3)
+        for _ in range(4):
+            targets[0].healthy = False
+            prober.probe_round()
+            targets[0].healthy = True
+            prober.probe_round()
+        assert prober.view[targets[0].address]
+        assert prober.transitions == []
+
+    def test_recovery_detected(self, sim):
+        prober, targets = make_prober(sim, failure_threshold=1,
+                                      recovery_threshold=2)
+        targets[0].healthy = False
+        prober.probe_round()
+        assert not prober.view[targets[0].address]
+        targets[0].healthy = True
+        prober.probe_round()
+        prober.probe_round()
+        assert prober.view[targets[0].address]
+        assert [t.healthy for t in prober.transitions] == [False, True]
+
+    def test_subscriber_notified(self, sim):
+        prober, targets = make_prober(sim, failure_threshold=1)
+        seen = []
+        prober.subscribe(seen.append)
+        targets[1].healthy = False
+        prober.probe_round()
+        assert len(seen) == 1
+        assert seen[0].address == targets[1].address
+
+    def test_detection_latency_bound(self, sim):
+        prober, targets = make_prober(sim, interval_s=1.0,
+                                      failure_threshold=3)
+        prober.start()
+        targets[0].healthy = False
+        sim.run(until=10.0)
+        transition = prober.transitions[0]
+        assert transition.time <= prober.detection_latency_s()
+
+
+class TestAggregationEconomy:
+    def test_one_prober_replaces_replica_core_fanout(self, sim):
+        """The probe volume of the aggregated prober matches the
+        analytic replica-level stage of HealthCheckPlan."""
+        from repro.core import HealthCheckPlan, ServicePlacement
+        placements = [ServicePlacement(
+            service_id=1, backend_names=("b1",),
+            app_endpoints=frozenset({"10.0.0.1", "10.0.0.2", "10.0.0.3"}))]
+        plan = HealthCheckPlan(placements, replicas_per_backend=32,
+                               cores_per_replica=16,
+                               probe_rate_per_target_s=1.0)
+        prober, targets = make_prober(sim, endpoints=3, interval_s=1.0)
+        prober.start()
+        sim.run(until=10.0)
+        measured_rate = prober.probes_sent / 11  # rounds at t=0..10
+        assert measured_rate == pytest.approx(plan.replica_level_rps(),
+                                              rel=0.05)
+        assert plan.base_rps() / measured_rate == pytest.approx(
+            32 * 16, rel=0.05)
+
+    def test_add_target_on_scale_out(self, sim):
+        prober, targets = make_prober(sim, endpoints=2)
+        prober.add_target(AppEndpoint("10.0.0.99"))
+        prober.probe_round()
+        assert prober.probes_sent == 3

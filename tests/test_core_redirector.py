@@ -1,0 +1,200 @@
+"""Tests for the Beamer-style redirector and disaggregated LB."""
+
+import pytest
+
+from repro.core import BucketTable, DisaggregatedLB, FlowStore, Replica
+from repro.core.replica import ReplicaConfig
+from repro.netsim import FiveTuple
+from repro.simcore import Simulator
+
+
+def flow(index, dport=443):
+    return FiveTuple(f"10.1.{index // 250}.{index % 250 + 1}",
+                     20_000 + index, "10.9.9.9", dport)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(0)
+
+
+def make_lb(sim, replicas=3, **kwargs):
+    pool = [Replica(sim, f"ip{i + 1}", "az1", ReplicaConfig())
+            for i in range(replicas)]
+    return DisaggregatedLB(service_id=7, replicas=pool, **kwargs)
+
+
+class TestBucketTable:
+    def test_build_assigns_every_bucket(self):
+        table = BucketTable(1, num_buckets=16)
+        table.build(["a", "b"])
+        for bucket in range(16):
+            assert len(table.chain_at(bucket)) == 1
+
+    def test_same_flow_same_bucket(self):
+        table = BucketTable(1)
+        assert table.bucket_of(flow(5)) == table.bucket_of(flow(5))
+
+    def test_prepare_offline_prepends_replacement(self):
+        table = BucketTable(1, num_buckets=8)
+        table.build(["a", "b"])
+        updated = table.prepare_offline("a", ["b"])
+        assert updated == 4
+        for bucket in table.buckets_headed_by("b"):
+            chain = table.chain_at(bucket)
+            assert chain[0] == "b"
+
+    def test_chain_capped_at_max(self):
+        table = BucketTable(1, num_buckets=4, max_chain=3)
+        table.build(["a"])
+        for replacement in ("b", "c", "d", "e"):
+            table.prepare_offline(table.chain_at(0)[0], [replacement])
+        assert table.max_chain_length() <= 3
+
+    def test_canal_allows_chains_longer_than_beamer(self):
+        """Canal's modification: chains > 2 to survive several scale
+        events in a short period (§4.4)."""
+        table = BucketTable(1, num_buckets=4, max_chain=4)
+        table.build(["a"])
+        table.prepare_offline("a", ["b"])
+        table.prepare_offline("b", ["c"])
+        table.prepare_offline("c", ["d"])
+        assert table.max_chain_length() == 4
+
+    def test_min_chain_validated(self):
+        with pytest.raises(ValueError):
+            BucketTable(1, max_chain=1)
+
+    def test_add_replica_takes_share_of_buckets(self):
+        table = BucketTable(1, num_buckets=12)
+        table.build(["a", "b"])
+        reassigned = table.add_replica("c")
+        assert reassigned == 4  # 1/3 of buckets
+        assert len(table.buckets_headed_by("c")) == 4
+
+    def test_remove_replica_purges_chains(self):
+        table = BucketTable(1, num_buckets=8)
+        table.build(["a", "b"])
+        table.prepare_offline("a", ["b"])
+        table.remove_replica("a")
+        for bucket in range(8):
+            assert "a" not in table.chain_at(bucket)
+
+
+class TestFlowStore:
+    def test_install_and_owner(self):
+        store = FlowStore()
+        store.install(flow(1), "ip1")
+        assert store.owner(flow(1)) == "ip1"
+        assert store.owner(flow(2)) is None
+
+    def test_flows_on_replica(self):
+        store = FlowStore()
+        store.install(flow(1), "ip1")
+        store.install(flow(2), "ip1")
+        store.install(flow(3), "ip2")
+        assert len(store.flows_on("ip1")) == 2
+
+    def test_remove(self):
+        store = FlowStore()
+        store.install(flow(1), "ip1")
+        store.remove(flow(1))
+        assert len(store) == 0
+
+
+class TestDisaggregatedLB:
+    def test_syn_installs_flow(self, sim):
+        lb = make_lb(sim)
+        result = lb.deliver(flow(1), is_syn=True)
+        assert result.is_new_flow
+        assert lb.flows.owner(flow(1)) == result.replica.name
+
+    def test_established_flow_sticks(self, sim):
+        lb = make_lb(sim)
+        first = lb.deliver(flow(1), is_syn=True)
+        again = lb.deliver(flow(1), is_syn=False)
+        assert again.replica.name == first.replica.name
+        assert not again.is_new_flow
+
+    def test_drained_replica_keeps_old_flows(self, sim):
+        """Fig 26's core property."""
+        lb = make_lb(sim)
+        owners = {}
+        flows = [flow(i) for i in range(100)]
+        for f in flows:
+            owners[f] = lb.deliver(f, is_syn=True).replica.name
+        victim = "ip2"
+        lb.drain_replica(victim)
+        for f in flows:
+            assert lb.deliver(f, is_syn=False).replica.name == owners[f]
+
+    def test_drained_replica_receives_no_new_flows(self, sim):
+        lb = make_lb(sim)
+        lb.drain_replica("ip2")
+        for i in range(100):
+            assert lb.deliver(flow(1000 + i), is_syn=True).replica.name != "ip2"
+
+    def test_redirection_hops_counted_for_chained_flows(self, sim):
+        lb = make_lb(sim)
+        flows = [flow(i) for i in range(200)]
+        victims = {}
+        for f in flows:
+            victims[f] = lb.deliver(f, is_syn=True).replica.name
+        lb.drain_replica("ip2")
+        chained = [f for f in flows if victims[f] == "ip2"]
+        assert chained  # some flows were on ip2
+        results = [lb.deliver(f, is_syn=False) for f in chained]
+        assert all(r.redirection_hops >= 1 for r in results)
+
+    def test_retire_requires_drained_flows(self, sim):
+        lb = make_lb(sim)
+        target = None
+        index = 0
+        while target is None:
+            result = lb.deliver(flow(index), is_syn=True)
+            if result.replica.name == "ip2":
+                target = flow(index)
+            index += 1
+        lb.drain_replica("ip2")
+        with pytest.raises(RuntimeError):
+            lb.retire_replica("ip2")
+        lb.close_flow(target)
+        # Any remaining ip2 flows must be closed too.
+        for f in [flow(i) for i in range(index)]:
+            lb.close_flow(f)
+        lb.retire_replica("ip2")
+        assert "ip2" not in lb.replica_names()
+
+    def test_add_replica_attracts_new_flows(self, sim):
+        lb = make_lb(sim, replicas=2)
+        newcomer = Replica(sim, "ip3", "az1", ReplicaConfig())
+        lb.add_replica(newcomer)
+        landed = sum(1 for i in range(300)
+                     if lb.deliver(flow(5000 + i), is_syn=True)
+                     .replica.name == "ip3")
+        assert landed > 50
+
+    def test_add_replica_preserves_established_flows(self, sim):
+        lb = make_lb(sim, replicas=2)
+        flows = [flow(i) for i in range(100)]
+        owners = {f: lb.deliver(f, is_syn=True).replica.name for f in flows}
+        lb.add_replica(Replica(sim, "ip3", "az1", ReplicaConfig()))
+        for f in flows:
+            assert lb.deliver(f, is_syn=False).replica.name == owners[f]
+
+    def test_duplicate_replica_rejected(self, sim):
+        lb = make_lb(sim)
+        with pytest.raises(ValueError):
+            lb.add_replica(Replica(sim, "ip1", "az1", ReplicaConfig()))
+
+    def test_no_accepting_replica_raises(self, sim):
+        lb = make_lb(sim, replicas=2)
+        with pytest.raises(RuntimeError):
+            lb.drain_replica("ip1")
+            lb.drain_replica("ip2")
+
+    def test_unknown_owner_treated_as_new(self, sim):
+        lb = make_lb(sim)
+        # Non-SYN packet for a flow nobody owns (e.g. after failover).
+        result = lb.deliver(flow(1), is_syn=False)
+        assert result.is_new_flow

@@ -1,0 +1,114 @@
+"""Tests for shuffle sharding."""
+
+import random
+
+import pytest
+
+from repro.core import Backend, ShardingError, ShuffleSharder
+from repro.simcore import Simulator
+
+
+def make_pools(sim, azs=2, per_az=6):
+    pools = {}
+    counter = 0
+    for az_index in range(azs):
+        az = f"az{az_index + 1}"
+        pools[az] = []
+        for _ in range(per_az):
+            counter += 1
+            pools[az].append(Backend(sim, f"b{counter}", az))
+    return pools
+
+
+@pytest.fixture
+def sim():
+    return Simulator(0)
+
+
+class TestShuffleSharder:
+    def test_assigns_requested_shape(self, sim):
+        sharder = ShuffleSharder(random.Random(0),
+                                 backends_per_service_per_az=2,
+                                 azs_per_service=2)
+        pools = make_pools(sim)
+        backends = sharder.assign(1, pools)
+        assert len(backends) == 4
+        assert len({b.az for b in backends}) == 2
+
+    def test_combinations_are_unique(self, sim):
+        sharder = ShuffleSharder(random.Random(0))
+        pools = make_pools(sim, azs=2, per_az=8)
+        for service_id in range(20):
+            for backend in sharder.assign(service_id, pools):
+                backend.install_service(service_id)
+        assert sharder.fully_overlapping_pairs() == 0
+
+    def test_duplicate_assignment_rejected(self, sim):
+        sharder = ShuffleSharder(random.Random(0))
+        pools = make_pools(sim)
+        sharder.assign(1, pools)
+        with pytest.raises(ValueError):
+            sharder.assign(1, pools)
+
+    def test_survivors_guarantee(self, sim):
+        """If one service's whole combination dies, every other service
+        keeps at least one backend — the isolation property of Fig 19."""
+        sharder = ShuffleSharder(random.Random(1))
+        pools = make_pools(sim, azs=3, per_az=6)
+        for service_id in range(15):
+            for backend in sharder.assign(service_id, pools):
+                backend.install_service(service_id)
+        for service_id in range(15):
+            survivors = sharder.survivors_if_combination_fails(service_id)
+            assert min(survivors.values()) >= 1
+
+    def test_too_few_azs_raises(self, sim):
+        sharder = ShuffleSharder(random.Random(0), azs_per_service=3)
+        with pytest.raises(ShardingError):
+            sharder.assign(1, make_pools(sim, azs=2))
+
+    def test_too_few_backends_raises(self, sim):
+        sharder = ShuffleSharder(random.Random(0),
+                                 backends_per_service_per_az=4,
+                                 azs_per_service=1)
+        with pytest.raises(ShardingError):
+            sharder.assign(1, make_pools(sim, azs=1, per_az=2))
+
+    def test_exhaustion_raises_sharding_error(self, sim):
+        # C(2,2) = 1 combination per AZ; the second service cannot get
+        # a unique one.
+        sharder = ShuffleSharder(random.Random(0),
+                                 backends_per_service_per_az=2,
+                                 azs_per_service=1, max_attempts=20)
+        pools = make_pools(sim, azs=1, per_az=2)
+        sharder.assign(1, pools)
+        with pytest.raises(ShardingError):
+            sharder.assign(2, pools)
+
+    def test_release_frees_combination(self, sim):
+        sharder = ShuffleSharder(random.Random(0),
+                                 backends_per_service_per_az=2,
+                                 azs_per_service=1)
+        pools = make_pools(sim, azs=1, per_az=2)
+        sharder.assign(1, pools)
+        sharder.release(1)
+        sharder.assign(2, pools)  # reuses the freed combination
+        assert len(sharder) == 1
+
+    def test_az_spread_prefers_lighter_azs(self, sim):
+        sharder = ShuffleSharder(random.Random(0), azs_per_service=1)
+        pools = make_pools(sim, azs=2, per_az=4)
+        # Preload az1 with configured services.
+        for backend in pools["az1"]:
+            backend.install_service(999)
+        backends = sharder.assign(1, pools)
+        assert all(b.az == "az2" for b in backends)
+
+    def test_combination_count_helper(self):
+        assert ShuffleSharder.combinations_available(6, 2) == 15
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShuffleSharder(random.Random(0), backends_per_service_per_az=0)
+        with pytest.raises(ValueError):
+            ShuffleSharder(random.Random(0), azs_per_service=0)

@@ -1,0 +1,180 @@
+"""Tests for the experiment harness and the fast exhibits.
+
+Heavy exhibits (Figs 11–14, 27/28) run in the benchmark suite; here we
+run the fast ones and assert their paper-facing findings.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run
+from repro.experiments.base import ExperimentResult, Series, Table
+
+
+class TestHarness:
+    def test_registry_covers_every_exhibit(self):
+        expected = {
+            "table1", "fig2", "fig3", "fig4", "fig5", "table2", "table3",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "table4", "fig18", "fig19", "fig20", "table5",
+            "table6", "table7", "fig21", "fig22", "fig23", "fig24",
+            "fig25", "fig26", "fig27_28", "fig29_30",
+        }
+        assert expected <= set(EXPERIMENTS)
+        # Everything beyond the paper exhibits is an ablation study, a
+        # scripted production case, or a robustness study.
+        from repro.experiments import (ABLATIONS, CASES_EXPERIMENTS,
+                                       SENSITIVITY)
+        assert (set(EXPERIMENTS) - expected
+                == set(ABLATIONS) | set(CASES_EXPERIMENTS)
+                | set(SENSITIVITY))
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run("fig99")
+
+    def test_table_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_column_access(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_table_formatting(self):
+        table = Table("Title", ["col"])
+        table.add_row(0.123456)
+        text = table.formatted()
+        assert "Title" in text and "col" in text
+
+    def test_series_accessors(self):
+        series = Series("s")
+        series.add(1.0, 2.0)
+        assert series.xs == [1.0] and series.ys == [2.0]
+
+    def test_result_lookup(self):
+        result = ExperimentResult("x", "t")
+        result.series.append(Series("a"))
+        assert result.series_named("a").name == "a"
+        with pytest.raises(KeyError):
+            result.series_named("b")
+        with pytest.raises(KeyError):
+            result.table_named("nope")
+
+    def test_result_formatting(self):
+        result = run("table5")
+        text = result.formatted()
+        assert "table5" in text and "Region1" in text
+
+
+class TestSidecarProblemExhibits:
+    def test_table1_shares_in_band(self):
+        result = run("table1")
+        assert 0.03 <= result.findings["min_cpu_share"]
+        assert result.findings["max_cpu_share"] <= 0.32
+
+    def test_fig2_latency_knee(self):
+        result = run("fig2")
+        assert 1.3 < result.findings["mean_multiplier_at_45pct"] < 2.5
+        assert result.findings["p99_multiplier_at_92pct"] > 20.0
+
+    def test_fig3_growth_doubles(self):
+        result = run("fig3")
+        assert 1.7 < result.findings["growth_ratio"] < 2.3
+
+    def test_table2_bands(self):
+        result = run("table2")
+        assert 1.0 <= result.findings["small_cluster_per_min"] <= 5.0
+        assert 40.0 <= result.findings["large_cluster_per_min"] <= 70.0
+
+    def test_table3_adoption_band(self):
+        result = run("table3")
+        assert 0.75 <= result.findings["min_l7_share"]
+        assert result.findings["max_l7_share"] <= 0.97
+
+
+class TestComparisonExhibits:
+    def test_fig10_ratios(self):
+        result = run("fig10")
+        assert 1.4 < result.findings["istio_over_canal"] < 2.2
+        assert 1.1 < result.findings["ambient_over_canal"] < 1.6
+
+    def test_fig15_exact_paper_ratios(self):
+        result = run("fig15")
+        assert result.findings["istio_over_canal_bytes"] == pytest.approx(
+            9.8, rel=0.01)
+        assert result.findings["ambient_over_canal_bytes"] == pytest.approx(
+            4.6, rel=0.01)
+
+
+class TestCloudOpsExhibits:
+    def test_fig16_isolation(self):
+        result = run("fig16")
+        assert 0.7 <= result.findings["peak_backend_cpu"] <= 0.9
+        assert result.findings["final_backend_cpu"] <= 0.4
+        assert result.findings["max_error_codes"] == 0
+        assert result.findings["recovery_seconds"] <= 60
+
+    def test_fig19_sharding_guarantees(self):
+        result = run("fig19")
+        assert result.findings["fully_overlapping_pairs"] == 0
+        assert result.findings["min_survivor_backends"] >= 1
+
+    def test_table5_bands(self):
+        result = run("table5")
+        assert 0.30 <= result.findings["redirector_min"]
+        assert result.findings["redirector_max"] <= 0.50
+        assert 0.50 <= result.findings["both_min"]
+        assert result.findings["both_max"] <= 0.72
+
+
+class TestHealthCheckExhibits:
+    def test_table6_excess(self):
+        result = run("table6")
+        assert result.findings["max_ratio"] > 400
+
+    def test_table7_reduction(self):
+        result = run("table7")
+        assert result.findings["min_reduction"] >= 0.996
+
+
+class TestAppendixExhibits:
+    def test_fig21_structure(self):
+        result = run("fig21")
+        assert result.findings["iptables_extra_stack_passes"] == 2
+
+    def test_fig22_ebpf_ctx_blowup(self):
+        result = run("fig22")
+        assert result.findings["ebpf_over_iptables_ctx"] > 1.5
+        assert result.findings["nagle_fix_ctx_reduction"] > 0.5
+
+    def test_fig23_completion_anchors(self):
+        result = run("fig23")
+        assert 1.4 < result.findings["remote_mean_ms"] < 2.0
+        assert result.findings["remote_spread_ms"] < 0.2
+        assert result.findings["none_mean_ms"] == pytest.approx(2.0)
+
+    def test_fig24_bimodal(self):
+        result = run("fig24")
+        assert result.findings["share_40_50ms"] > 0.25
+        assert result.findings["share_100_200ms"] > 0.25
+        assert result.findings["key_server_delta_relative"] < 0.02
+
+    def test_fig25_crossover_at_batch_width(self):
+        result = run("fig25")
+        assert result.findings["crossover_connections"] == 8
+        assert result.findings["completion_at_1_ms"] == pytest.approx(
+            1.25, rel=0.05)
+
+    def test_fig26_session_consistency(self):
+        result = run("fig26")
+        assert result.findings["sticky_fraction"] == 1.0
+        assert result.findings["new_flows_on_draining"] == 0
+
+    def test_fig29_30_bands(self):
+        result = run("fig29_30")
+        assert 1.2 < result.findings["throughput_ratio_small"] < 1.5
+        assert 1.9 < result.findings["throughput_ratio_large"] < 2.6
+        assert 1.3 < result.findings["latency_ratio_mean"] < 1.9

@@ -1,0 +1,169 @@
+"""Stateful chaos testing of the gateway (hypothesis rule-based).
+
+Random interleavings of the operations a production gateway sees —
+load changes, backend/AZ failures and recoveries, service extension and
+shrinking, throttling, sandbox quarantine — must preserve the
+invariants the paper's availability story rests on:
+
+* load conservation: carried RPS equals offered RPS (capped by any
+  throttle) whenever the service has a healthy carrier;
+* availability: a service is in outage only when *every* carrier
+  backend is down;
+* replica-level balance: every healthy replica of a backend carries the
+  same share;
+* no operation sequence crashes the control plane.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import GatewayConfig, MeshGateway, SandboxManager
+from repro.core.replica import ReplicaConfig
+from repro.simcore import Simulator
+
+
+class GatewayMachine(RuleBasedStateMachine):
+    @initialize()
+    def build(self):
+        self.sim = Simulator(1234)
+        config = GatewayConfig(
+            replicas_per_backend=2, backends_per_service_per_az=2,
+            azs_per_service=2,
+            replica=ReplicaConfig(cores=8, request_cost_s=100e-6))
+        self.gateway = MeshGateway(self.sim, config)
+        self.gateway.deploy_initial(["az1", "az2"], 5)
+        self.sandbox = SandboxManager(self.sim, self.gateway)
+        self.services = []
+        for index in range(4):
+            tenant = self.gateway.registry.add_tenant(f"t{index}")
+            service = self.gateway.registry.add_service(
+                tenant, "web", f"10.0.0.{index + 1}")
+            self.gateway.register_service(service)
+            self.gateway.set_service_load(service.service_id, 10_000.0)
+            self.services.append(service)
+        self.offered = {s.service_id: 10_000.0 for s in self.services}
+        self.throttles = {}
+
+    # -- operations --------------------------------------------------------
+    @rule(index=st.integers(0, 3),
+          rps=st.floats(min_value=0, max_value=300_000))
+    def set_load(self, index, rps):
+        sid = self.services[index].service_id
+        self.gateway.set_service_load(sid, rps)
+        self.offered[sid] = rps
+
+    @rule(backend_index=st.integers(0, 9))
+    def fail_backend(self, backend_index):
+        backends = self.gateway.all_backends
+        self.gateway.fail_backend(
+            backends[backend_index % len(backends)].name)
+
+    @rule(backend_index=st.integers(0, 9))
+    def recover_backend(self, backend_index):
+        backends = self.gateway.all_backends
+        self.gateway.recover_backend(
+            backends[backend_index % len(backends)].name)
+
+    @rule(az=st.sampled_from(["az1", "az2"]))
+    def fail_az(self, az):
+        self.gateway.fail_az(az)
+
+    @rule(az=st.sampled_from(["az1", "az2"]))
+    def recover_az(self, az):
+        self.gateway.recover_az(az)
+
+    @rule(index=st.integers(0, 3))
+    def extend(self, index):
+        sid = self.services[index].service_id
+        spare = next((b for b in self.gateway.all_backends
+                      if not b.hosts_service(sid)
+                      and b not in self.gateway.sandboxed.values()), None)
+        if spare is not None:
+            self.gateway.extend_service(sid, spare)
+
+    @rule(index=st.integers(0, 3))
+    def shrink(self, index):
+        sid = self.services[index].service_id
+        backends = self.gateway.service_backends[sid]
+        if len(backends) > 1:
+            self.gateway.shrink_service(sid, backends[-1])
+
+    @rule(index=st.integers(0, 3),
+          rate=st.floats(min_value=1_000, max_value=50_000))
+    def throttle(self, index, rate):
+        sid = self.services[index].service_id
+        self.gateway.throttle_service(sid, rate)
+        self.throttles[sid] = rate
+
+    @rule(index=st.integers(0, 3))
+    def unthrottle(self, index):
+        sid = self.services[index].service_id
+        self.gateway.unthrottle_service(sid)
+        self.throttles.pop(sid, None)
+
+    @rule(index=st.integers(0, 3))
+    def quarantine(self, index):
+        sid = self.services[index].service_id
+        if sid not in self.gateway.sandboxed:
+            process = self.sim.process(self.sandbox.migrate_lossy(sid))
+            self.sim.run()
+
+    @rule(index=st.integers(0, 3))
+    def release(self, index):
+        sid = self.services[index].service_id
+        if sid in self.gateway.sandboxed:
+            self.sandbox.release(sid)
+
+    # -- invariants -----------------------------------------------------------
+    @invariant()
+    def load_is_conserved(self):
+        for service in getattr(self, "services", []):
+            sid = service.service_id
+            offered = self.offered[sid]
+            limit = self.throttles.get(sid)
+            expected = min(offered, limit) if limit is not None else offered
+            carriers = list(self.gateway.service_backends[sid])
+            quarantine = self.gateway.sandboxed.get(sid)
+            if quarantine is not None:
+                carriers = [quarantine]
+            healthy = [b for b in carriers if b.is_healthy]
+            carried = sum(b.service_rps(sid) for b in healthy)
+            if healthy and expected > 0:
+                assert carried == pytest.approx(expected, rel=1e-6)
+            else:
+                assert carried == 0.0
+
+    @invariant()
+    def outage_only_when_all_carriers_down(self):
+        for service in getattr(self, "services", []):
+            sid = service.service_id
+            quarantine = self.gateway.sandboxed.get(sid)
+            if quarantine is not None:
+                carriers = [quarantine]
+            else:
+                carriers = self.gateway.service_backends[sid]
+            any_up = any(b.is_healthy for b in carriers)
+            assert self.gateway.service_outage(sid) == (not any_up)
+
+    @invariant()
+    def replicas_balanced_within_backend(self):
+        for backend in getattr(self, "gateway",
+                               type("x", (), {"all_backends": []})) \
+                .all_backends:
+            healthy = backend.healthy_replicas()
+            if len(healthy) < 2:
+                continue
+            loads = [r.offered_rps for r in healthy]
+            assert max(loads) - min(loads) < 1e-6 * max(1.0, max(loads))
+
+
+GatewayMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+TestGatewayChaos = GatewayMachine.TestCase

@@ -1,0 +1,149 @@
+"""Tests for the Kubernetes-like cluster substrate."""
+
+import pytest
+
+from repro.k8s import (
+    Cluster,
+    Container,
+    PodPhase,
+    ResourceRequest,
+    SchedulingError,
+)
+from repro.netsim import Topology
+
+
+@pytest.fixture
+def cluster():
+    topo = Topology.single_az_testbed(worker_nodes=2)
+    return Cluster("test", topo.all_nodes())
+
+
+class TestScheduling:
+    def test_pods_spread_over_workers(self, cluster):
+        for i in range(10):
+            cluster.create_pod(f"p{i}")
+        per_node = {n.name: len(n.pods) for n in cluster.worker_nodes}
+        assert set(per_node.values()) == {5}
+
+    def test_master_gets_no_pods(self, cluster):
+        for i in range(6):
+            cluster.create_pod(f"p{i}")
+        master = cluster.node_by_name("master")
+        assert master.pods == []
+
+    def test_scheduling_error_when_full(self):
+        topo = Topology.single_az_testbed(worker_nodes=1)
+        small = Cluster("small", topo.all_nodes(),
+                        node_cpu_millicores=250, node_memory_mb=10_000)
+        small.create_pod("fits", resources=ResourceRequest(200, 64))
+        with pytest.raises(SchedulingError):
+            small.create_pod("too-big", resources=ResourceRequest(100, 64))
+
+    def test_pod_gets_unique_ip(self, cluster):
+        a = cluster.create_pod("a")
+        b = cluster.create_pod("b")
+        assert a.ip != b.ip
+        assert cluster.vpc.owner_of(a.ip) == "a"
+
+
+class TestLifecycle:
+    def test_create_pod_running(self, cluster):
+        pod = cluster.create_pod("p")
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.node_name in {"worker1", "worker2"}
+
+    def test_delete_pod_frees_node(self, cluster):
+        pod = cluster.create_pod("p")
+        node = cluster.node_by_name(pod.node_name)
+        cluster.delete_pod("p")
+        assert pod.phase is PodPhase.TERMINATED
+        assert pod not in node.pods
+
+    def test_delete_unknown_raises(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.delete_pod("ghost")
+
+    def test_watch_events(self, cluster):
+        events = []
+        cluster.watch(events.append)
+        cluster.create_pod("p")
+        cluster.delete_pod("p")
+        assert [(e.kind, e.action) for e in events] == [
+            ("pod", "added"), ("pod", "deleted")]
+
+    def test_admission_hook_mutates_pod(self, cluster):
+        def inject(pod):
+            pod.containers.append(Container("sidecar", is_sidecar=True))
+
+        cluster.add_admission_hook(inject)
+        pod = cluster.create_pod("p")
+        assert pod.sidecar is not None
+
+
+class TestDeployments:
+    def test_create_deployment_scales_up(self, cluster):
+        deploy = cluster.create_deployment("web", replicas=4)
+        assert deploy.running_replicas == 4
+        assert cluster.pod_count == 4
+
+    def test_scale_down_removes_pods(self, cluster):
+        cluster.create_deployment("web", replicas=4)
+        cluster.scale_deployment("web", 2)
+        assert cluster.pod_count == 2
+
+    def test_negative_replicas_rejected(self, cluster):
+        cluster.create_deployment("web", replicas=1)
+        with pytest.raises(ValueError):
+            cluster.scale_deployment("web", -1)
+
+    def test_duplicate_deployment_rejected(self, cluster):
+        cluster.create_deployment("web", replicas=1)
+        with pytest.raises(ValueError):
+            cluster.create_deployment("web", replicas=1)
+
+
+class TestServices:
+    def test_endpoints_match_selector(self, cluster):
+        cluster.create_deployment("web", replicas=3, labels={"app": "web"})
+        cluster.create_deployment("db", replicas=2, labels={"app": "db"})
+        cluster.create_service("web", selector={"app": "web"})
+        assert len(cluster.endpoints("web")) == 3
+
+    def test_endpoints_track_scaling(self, cluster):
+        cluster.create_deployment("web", replicas=3, labels={"app": "web"})
+        cluster.create_service("web", selector={"app": "web"})
+        cluster.scale_deployment("web", 1)
+        assert len(cluster.endpoints("web")) == 1
+
+    def test_service_gets_cluster_ip(self, cluster):
+        service = cluster.create_service("web", selector={"app": "web"})
+        assert service.cluster_ip is not None
+
+    def test_duplicate_service_rejected(self, cluster):
+        cluster.create_service("web", selector={})
+        with pytest.raises(ValueError):
+            cluster.create_service("web", selector={})
+
+
+class TestResourceAccounting:
+    def test_sidecar_vs_app_split(self, cluster):
+        def inject(pod):
+            pod.containers.append(Container(
+                "sidecar", resources=ResourceRequest(100, 340),
+                is_sidecar=True))
+
+        cluster.add_admission_hook(inject)
+        cluster.create_deployment("web", replicas=10,
+                                  resources=ResourceRequest(800, 1024))
+        usage = cluster.resource_usage()
+        assert usage["sidecar_cpu_millicores"] == 1000
+        assert usage["app_cpu_millicores"] == 8000
+        assert usage["sidecar_memory_mb"] == 3400
+
+    def test_pod_total_resources(self, cluster):
+        pod = cluster.create_pod("p", resources=ResourceRequest(500, 256))
+        pod.containers.append(Container(
+            "sc", resources=ResourceRequest(100, 128), is_sidecar=True))
+        total = pod.total_resources
+        assert total.cpu_millicores == 600
+        assert pod.app_resources.cpu_millicores == 500

@@ -1,0 +1,133 @@
+"""Tests for the configuration build/push control planes."""
+
+import pytest
+
+from repro.core import CanalControlPlane
+from repro.k8s import Cluster
+from repro.mesh import (
+    AmbientControlPlane,
+    ControlPlaneCosts,
+    IstioControlPlane,
+)
+from repro.netsim import Topology
+from repro.simcore import Simulator
+
+
+def make_cluster(pods_per_service=10, services=3, workers=2):
+    topo = Topology.single_az_testbed(worker_nodes=workers)
+    cluster = Cluster("cp-test", topo.all_nodes())
+    for index in range(services):
+        cluster.create_deployment(f"svc{index}", replicas=pods_per_service,
+                                  labels={"app": f"svc{index}"})
+        cluster.create_service(f"svc{index}",
+                               selector={"app": f"svc{index}"})
+    return cluster
+
+
+def run_push(plane_cls, kind="routing", **cluster_kwargs):
+    sim = Simulator(0)
+    cluster = make_cluster(**cluster_kwargs)
+    plane = plane_cls(sim, cluster)
+    process = sim.process(plane.push_update(kind=kind))
+    sim.run()
+    return plane, process.value
+
+
+class TestConfigSizing:
+    def test_full_config_grows_with_pods(self):
+        sim = Simulator(0)
+        plane_small = IstioControlPlane(sim, make_cluster(pods_per_service=5))
+        plane_large = IstioControlPlane(sim, make_cluster(pods_per_service=20))
+        assert plane_large.full_config_bytes() > plane_small.full_config_bytes()
+
+    def test_full_config_includes_rules(self):
+        sim = Simulator(0)
+        with_services = IstioControlPlane(sim, make_cluster(services=5,
+                                                            pods_per_service=2))
+        without = IstioControlPlane(sim, make_cluster(services=1,
+                                                      pods_per_service=10))
+        assert (with_services.full_config_bytes()
+                > without.full_config_bytes())
+
+
+class TestTargetEnumeration:
+    def test_istio_targets_every_pod(self):
+        plane, report = run_push(IstioControlPlane)
+        assert report.targets == 30
+
+    def test_ambient_targets_nodes_plus_services(self):
+        plane, report = run_push(AmbientControlPlane)
+        assert report.targets == 2 + 3
+
+    def test_canal_routing_targets_gateway_only(self):
+        plane, report = run_push(CanalControlPlane, kind="routing")
+        assert report.targets == 1
+
+    def test_canal_pod_update_adds_onnode_identities(self):
+        plane, report = run_push(CanalControlPlane, kind="pods")
+        assert report.targets == 1 + 2  # gateway + 2 worker nodes
+
+
+class TestSouthboundBytes:
+    def test_fig15_exact_ratios(self):
+        """With the §5.1 testbed, the scope factors reproduce the
+        paper's southbound ratios exactly: 9.8x and 4.6x."""
+        _, istio = run_push(IstioControlPlane)
+        _, ambient = run_push(AmbientControlPlane)
+        _, canal = run_push(CanalControlPlane)
+        assert istio.total_bytes / canal.total_bytes == pytest.approx(
+            9.8, rel=0.01)
+        assert ambient.total_bytes / canal.total_bytes == pytest.approx(
+            4.6, rel=0.01)
+
+    def test_istio_bytes_quadratic_in_pods(self):
+        _, small = run_push(IstioControlPlane, pods_per_service=5)
+        _, large = run_push(IstioControlPlane, pods_per_service=10)
+        # 2x pods → 2x targets × a config that also grew.
+        assert large.total_bytes / small.total_bytes > 2.5
+
+
+class TestPushExecution:
+    def test_completion_positive_and_ordered(self):
+        _, istio = run_push(IstioControlPlane)
+        _, canal = run_push(CanalControlPlane)
+        assert 0 < canal.completion_s < istio.completion_s
+
+    def test_build_cpu_accounted(self):
+        _, report = run_push(IstioControlPlane)
+        assert report.build_cpu_s > report.push_cpu_s > 0
+
+    def test_bytes_accumulate_across_updates(self):
+        sim = Simulator(0)
+        plane = IstioControlPlane(sim, make_cluster())
+        for _ in range(2):
+            sim.process(plane.push_update())
+            sim.run()
+        assert plane.updates_pushed == 2
+        assert plane.bytes_pushed_total > 0
+
+
+class TestPodCreationCompletion:
+    def _create(self, plane_cls, count=50):
+        sim = Simulator(1)
+        cluster = make_cluster()
+        plane = plane_cls(sim, cluster)
+        process = sim.process(
+            plane.create_pods_and_configure(count, "svc0"))
+        sim.run()
+        return cluster, process.value
+
+    def test_pods_actually_created(self):
+        cluster, report = self._create(IstioControlPlane, count=20)
+        assert cluster.pod_count == 50  # 30 initial + 20
+
+    def test_completion_includes_startup(self):
+        costs = ControlPlaneCosts()
+        _, report = self._create(CanalControlPlane, count=20)
+        assert report.completion_s > costs.pod_startup_s
+
+    def test_fig14_ordering(self):
+        _, istio = self._create(IstioControlPlane)
+        _, ambient = self._create(AmbientControlPlane)
+        _, canal = self._create(CanalControlPlane)
+        assert canal.completion_s < ambient.completion_s < istio.completion_s

@@ -1,0 +1,87 @@
+"""Tests for IPv4 addressing and VPCs with overlapping space."""
+
+import pytest
+
+from repro.netsim import Cidr, Vpc, int_to_ip, ip_to_int
+
+
+class TestIpConversion:
+    def test_roundtrip(self):
+        for address in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+            assert int_to_ip(ip_to_int(address)) == address
+
+    def test_known_value(self):
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+
+    def test_octet_range_checked(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+    def test_int_range_checked(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestCidr:
+    def test_parse(self):
+        cidr = Cidr.parse("10.0.0.0/16")
+        assert cidr.network == "10.0.0.0"
+        assert cidr.prefix == 16
+        assert cidr.size == 65536
+
+    def test_parse_requires_prefix(self):
+        with pytest.raises(ValueError):
+            Cidr.parse("10.0.0.0")
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Cidr("10.0.0.1", 24)
+
+    def test_contains(self):
+        cidr = Cidr.parse("192.168.1.0/24")
+        assert cidr.contains("192.168.1.77")
+        assert not cidr.contains("192.168.2.1")
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(Cidr.parse("10.0.0.0/30").hosts())
+        assert hosts == ["10.0.0.1", "10.0.0.2"]
+
+    def test_str(self):
+        assert str(Cidr.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+
+class TestVpc:
+    def _vpc(self, tenant="t1", vni=100):
+        return Vpc(tenant=tenant, name=f"{tenant}-vpc",
+                   cidr=Cidr.parse("10.0.0.0/24"), vni=vni)
+
+    def test_sequential_allocation(self):
+        vpc = self._vpc()
+        assert vpc.allocate("pod-a") == "10.0.0.1"
+        assert vpc.allocate("pod-b") == "10.0.0.2"
+
+    def test_owner_tracking(self):
+        vpc = self._vpc()
+        address = vpc.allocate("pod-a")
+        assert vpc.owner_of(address) == "pod-a"
+        assert vpc.owner_of("10.0.0.200") is None
+
+    def test_exhaustion(self):
+        vpc = Vpc(tenant="t", name="tiny", cidr=Cidr.parse("10.0.0.0/30"),
+                  vni=1)
+        vpc.allocate("a")
+        vpc.allocate("b")
+        with pytest.raises(RuntimeError):
+            vpc.allocate("c")
+
+    def test_overlapping_vpcs_allocate_same_addresses(self):
+        """The multi-tenancy premise: two tenants may hold identical
+        private addresses — only the VNI tells them apart."""
+        vpc1 = self._vpc("tenant1", vni=100)
+        vpc2 = self._vpc("tenant2", vni=101)
+        assert vpc1.allocate("a") == vpc2.allocate("b")
+        assert vpc1.vni != vpc2.vni

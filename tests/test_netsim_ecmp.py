@@ -1,0 +1,62 @@
+"""Tests for the stateless ECMP router."""
+
+import pytest
+
+from repro.netsim import EcmpRouter, FiveTuple
+
+
+def flows(count, dport=80):
+    return [FiveTuple("10.0.0.1", 10_000 + i, "10.9.9.9", dport)
+            for i in range(count)]
+
+
+class TestEcmpRouter:
+    def test_empty_router_raises(self):
+        with pytest.raises(RuntimeError):
+            EcmpRouter([]).select(flows(1)[0])
+
+    def test_selection_deterministic(self):
+        router = EcmpRouter(["a", "b", "c"])
+        flow = flows(1)[0]
+        assert router.select(flow) == router.select(flow)
+
+    def test_roughly_even_spread(self):
+        router = EcmpRouter(["a", "b", "c", "d"])
+        counts = {}
+        for flow in flows(4000):
+            counts[router.select(flow)] = counts.get(
+                router.select(flow), 0) + 1
+        for hop_count in counts.values():
+            assert 800 <= hop_count <= 1200
+
+    def test_duplicate_next_hop_rejected(self):
+        router = EcmpRouter(["a"])
+        with pytest.raises(ValueError):
+            router.add_next_hop("a")
+
+    def test_remove_next_hop(self):
+        router = EcmpRouter(["a", "b"])
+        router.remove_next_hop("a")
+        assert router.next_hops == ["b"]
+
+    def test_membership_change_breaks_consistency(self):
+        """The core motivation for the Beamer redirector: removing a
+        next hop rehashes a large share of existing flows."""
+        router = EcmpRouter(["a", "b", "c", "d"])
+        sample = flows(1000)
+        moved = router.would_move(sample, ["a", "b", "c"])
+        # mod-N rehash moves roughly (1 - 1/4) minus coincidences; at
+        # minimum, far more than zero.
+        assert moved > 500
+
+    def test_same_list_moves_nothing(self):
+        router = EcmpRouter(["a", "b"])
+        assert router.would_move(flows(100), ["a", "b"]) == 0
+
+    def test_salt_isolates_services(self):
+        first = EcmpRouter(["a", "b", "c"], salt=1)
+        second = EcmpRouter(["a", "b", "c"], salt=2)
+        sample = flows(300)
+        differing = sum(1 for flow in sample
+                        if first.select(flow) != second.select(flow))
+        assert differing > 100

@@ -1,0 +1,139 @@
+"""Tests for the measurement primitives."""
+
+import pytest
+
+from repro.simcore import Counter, Summary, TimeSeries, cdf, percentile
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_p99_matches_numpy(self):
+        import numpy as np
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) == pytest.approx(
+            float(np.percentile(values, 99)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestCdf:
+    def test_shape(self):
+        points = cdf([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+
+    def test_last_point_is_one(self):
+        assert cdf([7.0, 7.0])[-1][1] == 1.0
+
+
+class TestSummary:
+    def test_mean(self):
+        summary = Summary()
+        summary.extend([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Summary().mean
+
+    def test_min_max_count(self):
+        summary = Summary()
+        summary.extend([5.0, 1.0, 3.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.count == 3
+
+    def test_histogram_buckets(self):
+        summary = Summary()
+        summary.extend([0.5, 1.5, 2.5, 3.5])
+        counts = summary.histogram([1.0, 2.0, 3.0])
+        assert counts == [1, 1, 1, 1]
+
+    def test_histogram_right_open(self):
+        summary = Summary()
+        summary.extend([1.0, 1.0])
+        assert summary.histogram([1.0, 2.0]) == [2, 0, 0]
+
+
+class TestTimeSeries:
+    def test_record_and_window(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.record(float(t), t * 10.0)
+        assert series.window(1.0, 3.0) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries()
+        series.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            series.record(0.5, 0.0)
+
+    def test_last(self):
+        series = TimeSeries()
+        series.record(1.0, 5.0)
+        series.record(2.0, 6.0)
+        assert series.last() == (2.0, 6.0)
+
+    def test_empty_last_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().last()
+
+    def test_bucketed_mean(self):
+        series = TimeSeries()
+        for t, v in [(0.0, 1.0), (0.5, 3.0), (1.0, 10.0)]:
+            series.record(t, v)
+        buckets = series.bucketed(1.0, agg="mean")
+        assert buckets[0][1] == pytest.approx(2.0)
+        assert buckets[1][1] == pytest.approx(10.0)
+
+    def test_bucketed_rate(self):
+        series = TimeSeries()
+        for t in (0.0, 0.1, 0.2, 1.5):
+            series.record(t, 1.0)
+        buckets = series.bucketed(1.0, agg="rate")
+        assert buckets[0][1] == pytest.approx(3.0)
+        assert buckets[1][1] == pytest.approx(1.0)
+
+    def test_bucketed_unknown_agg(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.bucketed(1.0, agg="wat")
+
+    def test_bucketed_empty(self):
+        assert TimeSeries().bucketed(1.0) == []
+
+
+class TestCounter:
+    def test_total(self):
+        counter = Counter()
+        counter.increment(0.0)
+        counter.increment(1.0, amount=3)
+        assert counter.total == 4
+
+    def test_rate_window(self):
+        counter = Counter()
+        for t in (0.1, 0.2, 0.9, 1.5):
+            counter.increment(t)
+        assert counter.rate(0.0, 1.0) == pytest.approx(3.0)
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            Counter().rate(1.0, 1.0)

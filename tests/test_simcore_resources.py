@@ -1,0 +1,175 @@
+"""Tests for resources: semaphores, CPU accounting, stores."""
+
+import pytest
+
+from repro.simcore import CpuResource, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestResource:
+    def test_capacity_validated(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        sim.run()
+        assert first.processed and second.processed
+        assert not third.triggered
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            with resource.request() as claim:
+                yield claim
+                order.append(name)
+                yield sim.timeout(hold)
+
+        sim.process(worker("a", 1.0))
+        sim.process(worker("b", 1.0))
+        sim.process(worker("c", 1.0))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_release_is_idempotent(self, sim):
+        resource = Resource(sim, capacity=1)
+        claim = resource.request()
+        sim.run()
+        resource.release(claim)
+        resource.release(claim)
+        assert resource.in_use == 0
+
+    def test_cancel_queued_request(self, sim):
+        resource = Resource(sim, capacity=1)
+        held = resource.request()
+        queued = resource.request()
+        sim.run()
+        resource.release(queued)  # cancel while still waiting
+        resource.release(held)
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_resize_grants_waiters(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        waiting = resource.request()
+        sim.run()
+        assert not waiting.triggered
+        resource.resize(2)
+        sim.run()
+        assert waiting.processed
+
+
+class TestCpuResource:
+    def test_busy_time_single_job(self, sim):
+        cpu = CpuResource(sim, cores=1)
+
+        def job():
+            yield from cpu.execute(2.5)
+
+        sim.process(job())
+        sim.run()
+        assert cpu.busy_time() == pytest.approx(2.5)
+
+    def test_parallel_jobs_on_multiple_cores(self, sim):
+        cpu = CpuResource(sim, cores=2)
+        for _ in range(2):
+            sim.process(cpu.execute(1.0))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+        assert cpu.busy_time() == pytest.approx(2.0)
+
+    def test_queueing_on_saturated_cpu(self, sim):
+        cpu = CpuResource(sim, cores=1)
+        for _ in range(3):
+            sim.process(cpu.execute(1.0))
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+        assert cpu.busy_time() == pytest.approx(3.0)
+
+    def test_utilization_full(self, sim):
+        cpu = CpuResource(sim, cores=2)
+        for _ in range(4):
+            sim.process(cpu.execute(1.0))
+        sim.run()
+        assert cpu.utilization() == pytest.approx(1.0)
+
+    def test_utilization_partial(self, sim):
+        cpu = CpuResource(sim, cores=1)
+        sim.process(cpu.execute(1.0))
+        sim.run(until=4.0)
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_utilization_between_marks(self, sim):
+        cpu = CpuResource(sim, cores=1)
+
+        def scenario():
+            cpu.mark()
+            yield from cpu.execute(1.0)
+            yield sim.timeout(1.0)
+            cpu.mark()
+            yield from cpu.execute(2.0)
+            cpu.mark()
+
+        sim.process(scenario())
+        sim.run()
+        windows = cpu.utilization_between_marks()
+        assert windows[0][1] == pytest.approx(0.5)   # busy 1 of 2 s
+        assert windows[1][1] == pytest.approx(1.0)   # busy 2 of 2 s
+
+    def test_negative_work_rejected(self, sim):
+        cpu = CpuResource(sim, cores=1)
+        with pytest.raises(ValueError):
+            list(cpu.execute(-1.0))
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        claim = store.get()
+        sim.run()
+        assert claim.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def consumer():
+            value = yield store.get()
+            results.append((sim.now, value))
+
+        def producer():
+            yield sim.timeout(2.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert results == [(2.0, "late")]
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        first = store.get()
+        second = store.get()
+        sim.run()
+        assert (first.value, second.value) == (1, 2)
+
+    def test_len_reflects_contents(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put("x")
+        assert len(store) == 1
