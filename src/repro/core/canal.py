@@ -278,6 +278,8 @@ class CanalMesh(ServiceMesh):
         client_pod = cluster.pods[connection.client]
         server_pod = cluster.pods.get(connection.server_pod)
         if server_pod is None:
+            self.observe_request(503, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
         client_proxy = self._proxy_for(client_pod)
         server_proxy = self._proxy_for(server_pod)
@@ -288,8 +290,12 @@ class CanalMesh(ServiceMesh):
         # Gateway-side admission: throttle (early drop) and authz.
         throttle = self.gateway.throttles.get(service_id)
         if throttle is not None and not throttle.allow(self.sim.now):
+            self.observe_request(429, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=429, latency_s=self.sim.now - start)
         if not self.authorize(connection.service, request):
+            self.observe_request(403, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=403, latency_s=self.sim.now - start)
 
         trace_id = (self.tracing.new_trace_id()
@@ -309,6 +315,8 @@ class CanalMesh(ServiceMesh):
                 service_id, flow, is_syn=connection.requests_sent == 0,
                 client_az=connection.meta["client_az"]))
         except (NoBackendAvailable, ResolutionError):
+            self.observe_request(503, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
         self._emit_span(trace_id, f"gateway/{result.replica.name}", "l7",
                         segment_start, "", connection.service,
@@ -334,7 +342,7 @@ class CanalMesh(ServiceMesh):
         yield self.sim.timeout(2 * hop)  # response back through the gateway
         connection.requests_sent += 1
         latency = self.sim.now - start
-        self.latency.add(latency)
+        self.observe_request(200, latency, connection.service)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=result.replica.name)
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..mesh.policy import RateLimiter
 from ..netsim import AzAwareResolver, FiveTuple
+from ..obs.runtime import get_telemetry
 from ..simcore import Simulator
 from .backend import Backend
 from .redirector import DeliveryResult, DisaggregatedLB
@@ -249,6 +250,8 @@ class MeshGateway:
     # -- throttling (redirector-level early drop, §6.2) ---------------------------
     def throttle_service(self, service_id: int, rate_per_s: float) -> None:
         self.throttles[service_id] = RateLimiter(rate_per_s)
+        get_telemetry().inc("gateway_throttles_installed_total",
+                            service=str(service_id))
         self._redistribute(service_id)
 
     def unthrottle_service(self, service_id: int) -> None:
@@ -297,17 +300,30 @@ class MeshGateway:
     def deliver(self, service_id: int, flow: FiveTuple, is_syn: bool,
                 client_az: str) -> DeliveryResult:
         """Steer one packet to a replica (DNS → AZ → redirectors)."""
+        telemetry = get_telemetry()
         record = self.dns.resolve(self._dns_name(service_id), client_az)
         lb = self.service_lbs.get((service_id, record.az))
         if lb is None:
+            telemetry.inc("gateway_no_backend_total",
+                          service=str(service_id))
             raise NoBackendAvailable(
                 f"service {service_id} has no LB in {record.az}")
         try:
-            return lb.deliver(flow, is_syn)
+            result = lb.deliver(flow, is_syn)
         except RuntimeError as exc:
             # DNS may lag replica health (e.g. failures injected below
             # the gateway API); an empty chain is still a 503.
+            telemetry.inc("gateway_no_backend_total",
+                          service=str(service_id))
             raise NoBackendAvailable(str(exc)) from exc
+        if telemetry.enabled:
+            telemetry.inc("gateway_deliveries_total",
+                          service=str(service_id), az=record.az)
+            if result.redirection_hops:
+                telemetry.inc("gateway_redirection_hops_total",
+                              amount=result.redirection_hops,
+                              service=str(service_id))
+        return result
 
     def process_request(self, service_id: int, flow: FiveTuple,
                         is_syn: bool, client_az: str):
@@ -318,6 +334,9 @@ class MeshGateway:
         service = self.registry.services.get(service_id)
         weight = service.request_weight if service is not None else 1.0
         yield from result.replica.process_request(weight)
+        get_telemetry().inc("gateway_requests_total",
+                            service=str(service_id),
+                            replica=result.replica.name)
         return result
 
     def _track_session(self, replica: Replica) -> None:
@@ -333,6 +352,8 @@ class MeshGateway:
                 replica.add_sessions(1)
             return
         if not replica.add_sessions(1):
+            get_telemetry().inc("gateway_session_exhaustion_total",
+                                replica=replica.name)
             raise NoBackendAvailable(
                 f"replica {replica.name}'s session table is exhausted "
                 f"({replica.config.session_capacity} entries) — scale "

@@ -69,13 +69,26 @@ class Trace:
         return "none"
 
     def critical_path_gap_s(self) -> float:
-        """Unattributed time: end-to-end minus instrumented segments.
+        """Unattributed time: end-to-end minus instrumented coverage.
 
         Large gaps mean a fault can't be pinpointed — exactly the §3.2
-        Issue #1 worry about losing node-side collection.
+        Issue #1 worry about losing node-side collection. Spans overlap
+        (the gateway L7 span can enclose node L4 spans), so coverage is
+        the *union* of span intervals, not the sum of durations.
         """
-        instrumented = sum(span.duration_s for span in self.spans)
-        return max(0.0, self.duration_s - instrumented)
+        intervals = sorted((span.start_s, span.end_s) for span in self.spans)
+        covered = 0.0
+        current_start, current_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start > current_end:
+                covered += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        covered += current_end - current_start
+        # The union lies within [start_s, end_s]; the clamp only guards
+        # floating-point residue.
+        return max(0.0, self.duration_s - covered)
 
 
 class TraceCollector:

@@ -23,6 +23,7 @@ from typing import Dict, List
 from ..kernel import EbpfRedirect
 from ..mesh.costs import DEFAULT_COSTS, MeshCostModel
 from ..mesh.proxy import ProxyTier
+from ..obs.runtime import get_telemetry
 from ..simcore import Simulator
 
 __all__ = ["FlowRecord", "OnNodeProxy"]
@@ -80,6 +81,13 @@ class OnNodeProxy:
             bytes_in=bytes_in, time=self.sim.now))
         self.pod_bytes[pod] = (self.pod_bytes.get(pod, 0)
                                + bytes_out + bytes_in)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("onnode_messages_total", node=self.node_name,
+                          service=service)
+            telemetry.inc("onnode_bytes_total",
+                          amount=bytes_out + bytes_in,
+                          node=self.node_name, pod=pod)
 
     def handshake_work(self):
         """Process generator: the non-asymmetric part of connection setup

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.runtime import get_telemetry
 from ..simcore import CpuResource, Event, Interrupt, Simulator
 from .primitives import CryptoCosts, DEFAULT_CRYPTO_COSTS
 
@@ -48,6 +49,7 @@ class SoftwareAsymEngine:
         else:
             yield self.sim.timeout(self.op_cost_s)
         self.operations += 1
+        get_telemetry().inc("crypto_asym_ops_total", engine="software")
         done.succeed(self.sim.now)
 
 
@@ -112,6 +114,13 @@ class BatchedAccelerator:
         self.batches += 1
         if len(batch) == self.batch_size:
             self.full_batches += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("crypto_batches_total", engine=self.name,
+                          full=str(len(batch) == self.batch_size).lower())
+            telemetry.observe("crypto_batch_fill", len(batch),
+                              buckets=tuple(range(1, self.batch_size + 1)),
+                              engine=self.name)
         self.sim.process(self._process_batch(batch), name="asym-batch")
         if self._pending:
             # Left-over ops start a fresh wait window.
@@ -127,6 +136,8 @@ class BatchedAccelerator:
         else:
             yield self.sim.timeout(self.costs.asym_accelerated_s)
         self.operations += len(batch)
+        get_telemetry().inc("crypto_asym_ops_total", amount=len(batch),
+                            engine=self.name)
         for done in batch:
             done.succeed(self.sim.now)
 

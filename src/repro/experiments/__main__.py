@@ -2,28 +2,86 @@
 
 Usage::
 
-    python -m repro.experiments            # list exhibits
-    python -m repro.experiments fig11      # run one and print it
-    python -m repro.experiments all        # run everything (minutes)
+    python -m repro.experiments                    # list exhibits
+    python -m repro.experiments fig11              # run one and print it
+    python -m repro.experiments all                # run everything (minutes)
+    python -m repro.experiments --report out fig11 # also drop artifacts
+
+With ``--report <dir>``, every exhibit run executes with an enabled
+telemetry registry and step profiling, and drops three machine-readable
+artifacts into ``<dir>``:
+
+* ``<exp_id>.report.json`` — tables/series/findings + telemetry snapshot
+  + per-simulator profiler attribution;
+* ``<exp_id>.prom``        — Prometheus text-format metrics snapshot;
+* ``<exp_id>.trace.json``  — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev).
 """
 
 import sys
 import time
 
+from ..obs import (
+    Telemetry,
+    disable_profiling,
+    enable_profiling,
+    set_telemetry,
+    take_profilers,
+    write_run_artifacts,
+)
 from . import EXPERIMENTS, run
+
+USAGE = "usage: python -m repro.experiments [--report <dir>] <exhibit>|all"
+
+
+def _run_with_report(exp_id: str, report_dir: str):
+    """Run one exhibit under telemetry + profiling; write its artifacts."""
+    telemetry = Telemetry(enabled=True)
+    previous = set_telemetry(telemetry)
+    enable_profiling(keep_timeline=True)
+    take_profilers()  # drop any profilers a previous exhibit leaked
+    started = time.time()
+    try:
+        result = run(exp_id)
+    finally:
+        disable_profiling()
+        set_telemetry(previous)
+    elapsed = time.time() - started
+    profilers = take_profilers()
+    paths = write_run_artifacts(
+        report_dir, exp_id, result=result, telemetry=telemetry,
+        profilers=profilers,
+        meta={"exp_id": exp_id, "wall_clock_s": elapsed,
+              "simulators_profiled": len(profilers)})
+    return result, elapsed, paths
 
 
 def main(argv) -> int:
-    if len(argv) < 2:
-        print("usage: python -m repro.experiments <exhibit>|all")
+    args = list(argv[1:])
+    report_dir = None
+    if "--report" in args:
+        index = args.index("--report")
+        if index + 1 >= len(args):
+            print(USAGE)
+            return 1
+        report_dir = args[index + 1]
+        del args[index:index + 2]
+    if not args:
+        print(USAGE)
         print("exhibits:", " ".join(EXPERIMENTS))
         return 1
-    targets = list(EXPERIMENTS) if argv[1] == "all" else argv[1:]
+    targets = list(EXPERIMENTS) if args[0] == "all" else args
     for exp_id in targets:
-        started = time.time()
-        result = run(exp_id)
-        print(result.formatted())
-        print(f"[{exp_id} regenerated in {time.time() - started:.1f}s]\n")
+        if report_dir is not None:
+            result, elapsed, paths = _run_with_report(exp_id, report_dir)
+            print(result.formatted())
+            print(f"[{exp_id} regenerated in {elapsed:.1f}s; artifacts: "
+                  + ", ".join(sorted(paths.values())) + "]\n")
+        else:
+            started = time.time()
+            result = run(exp_id)
+            print(result.formatted())
+            print(f"[{exp_id} regenerated in {time.time() - started:.1f}s]\n")
     return 0
 
 

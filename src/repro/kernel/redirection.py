@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.runtime import get_telemetry
 from .costs import KernelCosts, PathCost
 from .nagle import NagleConfig, batch_factor
 
@@ -39,6 +40,13 @@ class IptablesRedirect:
                + self.extra_context_switches * kc.context_switch_s
                + kc.copy_cost(message_bytes)
                + kc.socket_op_s)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("kernel_redirect_messages_total",
+                          redirector="iptables")
+            telemetry.inc("kernel_stack_passes_total",
+                          amount=self.extra_stack_passes,
+                          redirector="iptables")
         return PathCost(cpu_s=cpu, latency_s=cpu,
                         context_switches=self.extra_context_switches,
                         stack_passes=self.extra_stack_passes, copies=1)
@@ -72,6 +80,8 @@ class EbpfRedirect:
     def message_cost(self, message_bytes: int) -> PathCost:
         kc = self.costs
         cpu = kc.context_switch_s + kc.copy_cost(message_bytes)
+        get_telemetry().inc("kernel_redirect_messages_total",
+                            redirector="ebpf")
         return PathCost(cpu_s=cpu, latency_s=cpu,
                         context_switches=1, stack_passes=0, copies=1)
 

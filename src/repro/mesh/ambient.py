@@ -126,6 +126,8 @@ class AmbientMesh(ServiceMesh):
         client_pod = cluster.pods[connection.client]
         server_pod = cluster.pods.get(connection.server_pod)
         if server_pod is None:
+            self.observe_request(503, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
 
         crypto_bytes = request.total_bytes if self.mtls_enabled else 0
@@ -140,6 +142,8 @@ class AmbientMesh(ServiceMesh):
             # node, so an intra-AZ hop) and one onwards to the server.
             yield self.sim.timeout(self.latency_model.intra_az)
             if not self.authorize(connection.service, request):
+                self.observe_request(403, self.sim.now - start,
+                                     connection.service)
                 return HttpResponse(status=403, latency_s=self.sim.now - start)
             assert self._waypoint_pool is not None
             yield from self._waypoint_pool.work(sample_service_time(
@@ -158,7 +162,7 @@ class AmbientMesh(ServiceMesh):
             server_loc, client_loc))
         connection.requests_sent += 1
         latency = self.sim.now - start
-        self.latency.add(latency)
+        self.observe_request(200, latency, connection.service)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=server_pod.name)
 

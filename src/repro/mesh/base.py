@@ -19,6 +19,7 @@ import abc
 from typing import Dict, List, Optional
 
 from ..k8s import Cluster, Pod
+from ..obs.runtime import get_telemetry
 from ..simcore import Simulator, Summary
 from .costs import DEFAULT_COSTS, MeshCostModel
 from .http import HttpRequest, HttpResponse, RouteTable
@@ -59,6 +60,25 @@ class ServiceMesh(abc.ABC):
     @abc.abstractmethod
     def request(self, connection: Connection, request: HttpRequest):
         """Process generator → :class:`HttpResponse`."""
+
+    # -- observability -------------------------------------------------------
+    def observe_request(self, status: int, latency_s: float,
+                        service: str = "") -> None:
+        """Record one completed exchange (any status) at the mesh level.
+
+        Successful requests keep feeding the local latency summary the
+        experiments read; every outcome additionally lands in the
+        ambient telemetry registry with per-mesh/per-result labels.
+        """
+        if status == 200:
+            self.latency.add(latency_s)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            result = "ok" if status == 200 else str(status)
+            telemetry.inc("mesh_requests_total", mesh=self.name,
+                          result=result, service=service)
+            telemetry.observe("mesh_request_latency_seconds", latency_s,
+                              mesh=self.name)
 
     # -- resource accounting ---------------------------------------------------
     @abc.abstractmethod

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from ..k8s import Cluster
 from ..netsim import Link
+from ..obs.runtime import get_telemetry
 from ..simcore import CpuResource, Resource, Simulator
 
 __all__ = [
@@ -162,6 +163,16 @@ class ControlPlane:
         report.finished_at = self.sim.now
         self.updates_pushed += 1
         self.bytes_pushed_total += report.total_bytes
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            plane = getattr(self, "kind", "generic")
+            telemetry.inc("config_pushes_total", plane=plane, kind=kind)
+            telemetry.inc("config_push_bytes_total",
+                          amount=report.total_bytes, plane=plane)
+            telemetry.inc("config_push_targets_total",
+                          amount=report.targets, plane=plane)
+            telemetry.observe("config_push_completion_seconds",
+                              report.completion_s, plane=plane)
         return report
 
     def _configure_target(self, target: ConfigTarget, report: PushReport,
@@ -179,6 +190,7 @@ class ControlPlane:
         report.total_bytes += target.config_bytes
         report.build_cpu_s += build_s
         report.push_cpu_s += push_s
+        get_telemetry().inc("config_target_acks_total", proxy=target.kind)
         done.succeed()
 
     def create_pods_and_configure(self, count: int, deployment: str):

@@ -116,6 +116,8 @@ class IstioMesh(ServiceMesh):
         client_pod = cluster.pods[connection.client]
         server_pod = cluster.pods.get(connection.server_pod)
         if server_pod is None:
+            self.observe_request(503, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
 
         crypto_bytes = request.total_bytes if self.mtls_enabled else 0
@@ -133,6 +135,8 @@ class IstioMesh(ServiceMesh):
             self._location_of(client_pod), self._location_of(server_pod)))
         # Server sidecar: decrypt + L7 + authorization + redirect in.
         if not self.authorize(connection.service, request):
+            self.observe_request(403, self.sim.now - start,
+                                 connection.service)
             return HttpResponse(status=403, latency_s=self.sim.now - start)
         yield from self._tier_for(server_pod).work(side_cost())
         # The application itself.
@@ -143,7 +147,7 @@ class IstioMesh(ServiceMesh):
             self._location_of(server_pod), self._location_of(client_pod)))
         connection.requests_sent += 1
         latency = self.sim.now - start
-        self.latency.add(latency)
+        self.observe_request(200, latency, connection.service)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=server_pod.name)
 

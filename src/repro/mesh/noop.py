@@ -55,7 +55,7 @@ class NoMesh(ServiceMesh):
         yield self.sim.timeout(self.latency_model.one_way(dst, src))
         connection.requests_sent += 1
         latency = self.sim.now - start
-        self.latency.add(latency)
+        self.observe_request(200, latency, connection.service)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=server_pod.name)
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..crypto.tls import MtlsSession
+from ..obs.runtime import get_telemetry
 from ..simcore import CpuResource, Simulator
 
 __all__ = ["ProxyTier", "Connection", "ConnectionPool"]
@@ -36,6 +37,11 @@ class ProxyTier:
         if cpu_seconds < 0:
             raise ValueError(f"negative work: {cpu_seconds}")
         self.requests_processed += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.inc("proxy_requests_total", tier=self.name)
+            telemetry.observe("proxy_work_seconds", cpu_seconds,
+                              tier=self.name)
         yield from self.cpu.execute(cpu_seconds)
 
     def utilization(self, since: float = 0.0) -> float:
@@ -76,8 +82,11 @@ class ConnectionPool:
         connection = self._connections.get((client, service))
         if connection is None:
             self.misses += 1
+            get_telemetry().inc("connection_pool_lookups_total",
+                                result="miss")
         else:
             self.hits += 1
+            get_telemetry().inc("connection_pool_lookups_total", result="hit")
         return connection
 
     def put(self, connection: Connection) -> None:

@@ -1,0 +1,51 @@
+"""Unified telemetry: metrics registry, simulator profiler, exporters.
+
+The observability backbone of the reproduction (§4.1.1, Appendix A of
+the paper argue a sidecar-free mesh can keep sidecar-grade telemetry;
+this package is where our own run telemetry lives):
+
+* :class:`Telemetry` — labeled counters/gauges/histograms that every
+  mesh layer emits into (disabled, and nearly free, by default);
+* :class:`SimProfiler` — opt-in ``Simulator.step`` attribution of
+  simulated and wall-clock time per process/event type;
+* exporters — Chrome ``trace_event`` JSON, Prometheus text snapshots,
+  and JSON run reports (``python -m repro.experiments --report <dir>``).
+"""
+
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    run_report,
+    write_run_artifacts,
+)
+from .profiler import SimProfiler
+from .runtime import (
+    disable_profiling,
+    enable_profiling,
+    get_telemetry,
+    new_profiler,
+    profiling_enabled,
+    set_telemetry,
+    take_profilers,
+    use_telemetry,
+)
+from .telemetry import DEFAULT_BUCKETS, MetricFamily, Telemetry
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "SimProfiler",
+    "Telemetry",
+    "chrome_trace",
+    "disable_profiling",
+    "enable_profiling",
+    "get_telemetry",
+    "new_profiler",
+    "profiling_enabled",
+    "prometheus_text",
+    "run_report",
+    "set_telemetry",
+    "take_profilers",
+    "use_telemetry",
+    "write_run_artifacts",
+]

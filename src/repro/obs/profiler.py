@@ -1,0 +1,118 @@
+"""Simulator profiler: who burns the event loop, in sim- and wall-time.
+
+The Canal reproduction's cost is dominated by the DES event loop, so the
+first question before any performance work is *which subsystem the loop
+spends its time driving*. :class:`SimProfiler` hooks
+:meth:`repro.simcore.Simulator.step` (opt-in; a ``None`` check is the
+only cost when off) and attributes, per event pop:
+
+* **simulated time** — the clock advance the popped event caused, and
+* **wall-clock time** — ``perf_counter`` around each callback,
+
+to a *key*: the owning process's (normalized) name when the callback
+belongs to a :class:`~repro.simcore.Process`, otherwise the event's
+type. Process names like ``cfg-sidecar-pod-17`` are normalized by
+stripping trailing digits so ten thousand pods fold into one row.
+
+This module must not import :mod:`repro.simcore` (the simulator imports
+us); ownership is detected by duck typing on ``callback.__self__``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SimProfiler"]
+
+#: Trailing instance numbering (``-17``, ``@3``, ``.2``) on process names.
+_TRAILING_ID = re.compile(r"[-@./]?\d+$")
+
+
+class SimProfiler:
+    """Accumulates per-key event counts, simulated time, and wall time."""
+
+    def __init__(self, keep_timeline: bool = False,
+                 max_timeline_events: int = 200_000,
+                 max_keys: int = 512):
+        self.keep_timeline = keep_timeline
+        self.max_timeline_events = max_timeline_events
+        self.max_keys = max_keys
+        #: key -> [event count, simulated seconds, wall seconds]
+        self.records: Dict[str, List[float]] = {}
+        #: (wall offset s, wall duration s, key) — only when keep_timeline.
+        self.timeline: List[Tuple[float, float, str]] = []
+        self.steps = 0
+        self.dropped_timeline_events = 0
+        self._origin = time.perf_counter()
+
+    # -- the Simulator.step hook -------------------------------------------
+    def record_step(self, sim, when: float, event) -> None:
+        """Advance ``sim`` through one popped ``event``, attributing time.
+
+        Mirrors the un-profiled body of ``Simulator.step`` (clock
+        advance, callback handoff) with timing wrapped around each
+        callback. The caller still owns the failed-event raise.
+        """
+        advance = when - sim.now
+        sim.now = when
+        self.steps += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if not callbacks:
+            self._add(type(event).__name__, advance, 0.0, None)
+            return
+        for callback in callbacks:
+            start = time.perf_counter()
+            callback(event)
+            wall = time.perf_counter() - start
+            self._add(self._key(callback, event), advance, wall, start)
+            advance = 0.0  # the clock advance belongs to the first callback
+
+    def _key(self, callback, event) -> str:
+        owner = getattr(callback, "__self__", None)
+        name = getattr(owner, "name", None)
+        if isinstance(name, str) and name:
+            return "process:" + (_TRAILING_ID.sub("", name) or name)
+        return type(event).__name__
+
+    def _add(self, key: str, sim_s: float, wall_s: float,
+             wall_start: Optional[float]) -> None:
+        record = self.records.get(key)
+        if record is None:
+            if len(self.records) >= self.max_keys:
+                key = "(other)"
+                record = self.records.get(key)
+            if record is None:
+                record = self.records[key] = [0, 0.0, 0.0]
+        record[0] += 1
+        record[1] += sim_s
+        record[2] += wall_s
+        if self.keep_timeline and wall_start is not None:
+            if len(self.timeline) < self.max_timeline_events:
+                self.timeline.append(
+                    (wall_start - self._origin, wall_s, key))
+            else:
+                self.dropped_timeline_events += 1
+
+    # -- reporting ----------------------------------------------------------
+    def wall_total_s(self) -> float:
+        return sum(record[2] for record in self.records.values())
+
+    def sim_total_s(self) -> float:
+        return sum(record[1] for record in self.records.values())
+
+    def summary(self) -> List[Dict[str, object]]:
+        """Per-key attribution rows, hottest wall-clock first."""
+        rows = [{"key": key, "events": int(record[0]),
+                 "sim_s": record[1], "wall_s": record[2]}
+                for key, record in self.records.items()]
+        rows.sort(key=lambda row: row["wall_s"], reverse=True)
+        return rows
+
+    def formatted(self, top: int = 15) -> str:
+        lines = [f"{'events':>8}  {'sim s':>10}  {'wall ms':>9}  key"]
+        for row in self.summary()[:top]:
+            lines.append(f"{row['events']:>8}  {row['sim_s']:>10.4f}  "
+                         f"{row['wall_s'] * 1e3:>9.2f}  {row['key']}")
+        return "\n".join(lines)

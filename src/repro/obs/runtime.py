@@ -1,0 +1,102 @@
+"""Ambient telemetry/profiling state shared by every layer.
+
+Instrumentation points in the mesh stack cannot thread a registry
+through every constructor (proxies, gateways, and control planes are
+built deep inside experiments), so they emit into the *ambient*
+:class:`~repro.obs.telemetry.Telemetry` held here. The default registry
+is **disabled** — emissions cost one early-returning method call — and
+runs that want measurements install an enabled one::
+
+    with use_telemetry(Telemetry(enabled=True)) as t:
+        run("fig11")
+    print(t.total("mesh_requests_total"))
+
+Profiling works the same way: while enabled, every freshly constructed
+:class:`~repro.simcore.Simulator` gets its own
+:class:`~repro.obs.profiler.SimProfiler`, all of which are collected
+here for the report exporters to drain.
+
+This module must stay import-light (no simcore / mesh imports): the
+simulator itself imports it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from .profiler import SimProfiler
+from .telemetry import Telemetry
+
+__all__ = [
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "new_profiler",
+    "take_profilers",
+]
+
+_telemetry = Telemetry(enabled=False)
+_profiling: bool = False
+_profiler_kwargs: dict = {}
+_profilers: List[SimProfiler] = []
+
+
+# -- telemetry --------------------------------------------------------------
+def get_telemetry() -> Telemetry:
+    """The ambient registry every instrumentation point emits into."""
+    return _telemetry
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as ambient; returns the previous registry."""
+    global _telemetry
+    previous, _telemetry = _telemetry, telemetry
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Scope an (enabled, by default) registry over a ``with`` block."""
+    installed = telemetry if telemetry is not None else Telemetry(enabled=True)
+    previous = set_telemetry(installed)
+    try:
+        yield installed
+    finally:
+        set_telemetry(previous)
+
+
+# -- profiling --------------------------------------------------------------
+def enable_profiling(keep_timeline: bool = False, **kwargs) -> None:
+    """Attach a profiler to every Simulator constructed from now on."""
+    global _profiling, _profiler_kwargs
+    _profiling = True
+    _profiler_kwargs = dict(keep_timeline=keep_timeline, **kwargs)
+
+
+def disable_profiling() -> None:
+    global _profiling
+    _profiling = False
+
+
+def profiling_enabled() -> bool:
+    return _profiling
+
+
+def new_profiler() -> Optional[SimProfiler]:
+    """Called by ``Simulator.__init__``; ``None`` unless profiling is on."""
+    if not _profiling:
+        return None
+    profiler = SimProfiler(**_profiler_kwargs)
+    _profilers.append(profiler)
+    return profiler
+
+
+def take_profilers() -> List[SimProfiler]:
+    """Drain (return and forget) every profiler created while enabled."""
+    global _profilers
+    drained, _profilers = _profilers, []
+    return drained

@@ -39,9 +39,9 @@ def percentile(values: Sequence[float], p: float) -> float:
         return ordered[low]
     weight = rank - low
     value = ordered[low] * (1.0 - weight) + ordered[high] * weight
-    # Interpolation rounding must never escape the data range.
-    return min(max(value, ordered[low]), ordered[high]) \
-        if ordered[low] <= ordered[high] else value
+    # Interpolation rounding must never escape the data range (the list
+    # is sorted, so ordered[low] <= ordered[high] always holds).
+    return min(max(value, ordered[low]), ordered[high])
 
 
 def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
@@ -178,15 +178,20 @@ class Counter:
     def __init__(self, name: str = ""):
         self.name = name
         self.total = 0
-        self._times: List[float] = []
+        #: (time, amount) pairs — O(1) memory per increment regardless
+        #: of the amount.
+        self._events: List[Tuple[float, int]] = []
 
     def increment(self, time: float, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
         self.total += amount
-        self._times.extend([time] * amount)
+        if amount:
+            self._events.append((time, amount))
 
     def rate(self, start: float, end: float) -> float:
         """Events per unit time in [start, end)."""
         if end <= start:
             raise ValueError("rate window must have positive width")
-        hits = sum(1 for t in self._times if start <= t < end)
+        hits = sum(amount for t, amount in self._events if start <= t < end)
         return hits / (end - start)

@@ -11,6 +11,7 @@ import heapq
 import random
 from typing import Any, Generator, Optional
 
+from ..obs.runtime import new_profiler
 from .events import AllOf, AnyOf, Event, Process, Timeout
 
 __all__ = ["Simulator", "EmptySchedule"]
@@ -36,6 +37,10 @@ class Simulator:
         self.rng = random.Random(seed)
         self._heap: list = []
         self._sequence = 0
+        #: Opt-in step profiler (repro.obs): ``None`` unless profiling
+        #: was enabled via ``repro.obs.enable_profiling()`` when this
+        #: simulator was constructed, keeping the default loop hot.
+        self.profiler = new_profiler()
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -71,10 +76,13 @@ class Simulator:
         if not self._heap:
             raise EmptySchedule()
         when, _seq, event = heapq.heappop(self._heap)
-        self.now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if self.profiler is not None:
+            self.profiler.record_step(self, when, event)
+        else:
+            self.now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event._defused:
             raise event._value
 

@@ -52,6 +52,27 @@ class TestTraceCollector:
         trace = collector.trace(1)
         assert trace.critical_path_gap_s() == pytest.approx(2.0)
 
+    def test_critical_path_gap_merges_overlapping_spans(self):
+        """An enclosing L7 span must not double-count the L4 span time:
+        coverage is the union of intervals, not the sum of durations."""
+        collector = TraceCollector()
+        collector.record(self._span(source="gateway/r1", layer="l7",
+                                    start=0.0, end=4.0))
+        collector.record(self._span(source="onnode@w1", layer="l4",
+                                    start=1.0, end=2.0))
+        collector.record(self._span(source="onnode@w2", layer="l4",
+                                    start=5.0, end=6.0))
+        trace = collector.trace(1)
+        # Covered: [0,4] ∪ [5,6] = 5s of the 6s end to end -> 1s gap
+        # (a duration sum would claim 6s covered and report 0 gap).
+        assert trace.critical_path_gap_s() == pytest.approx(1.0)
+
+    def test_critical_path_gap_identical_spans(self):
+        collector = TraceCollector()
+        collector.record(self._span(start=0.0, end=2.0))
+        collector.record(self._span(source="b", start=0.0, end=2.0))
+        assert collector.trace(1).critical_path_gap_s() == pytest.approx(0.0)
+
 
 class TestCanalTracing:
     def test_full_coverage_on_canal_path(self):

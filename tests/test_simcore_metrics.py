@@ -120,6 +120,39 @@ class TestTimeSeries:
     def test_bucketed_empty(self):
         assert TimeSeries().bucketed(1.0) == []
 
+    def test_bucketed_sum_max_min_count(self):
+        series = TimeSeries()
+        for t, v in [(0.0, 1.0), (0.5, 3.0), (1.2, -2.0), (1.8, 7.0)]:
+            series.record(t, v)
+        assert series.bucketed(1.0, agg="sum")[0][1] == pytest.approx(4.0)
+        assert series.bucketed(1.0, agg="max")[1][1] == pytest.approx(7.0)
+        assert series.bucketed(1.0, agg="min")[1][1] == pytest.approx(-2.0)
+        assert series.bucketed(1.0, agg="count")[0][1] == pytest.approx(2.0)
+
+    def test_bucketed_respects_start_end_window(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.record(float(t), 1.0)
+        buckets = series.bucketed(1.0, agg="count", start=1.0, end=3.0)
+        # Only samples in [1.0, 3.0] count, bucketed relative to start.
+        assert sum(count for _, count in buckets) == 3
+
+    def test_bucketed_midpoints(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(2.5, 1.0)
+        buckets = series.bucketed(1.0, agg="count")
+        assert buckets[0][0] == pytest.approx(0.5)
+        assert buckets[1][0] == pytest.approx(2.5)
+
+    def test_bucketed_nonpositive_width_raises(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.bucketed(0.0)
+        with pytest.raises(ValueError):
+            series.bucketed(-1.0)
+
 
 class TestCounter:
     def test_total(self):
@@ -137,3 +170,39 @@ class TestCounter:
     def test_bad_window_raises(self):
         with pytest.raises(ValueError):
             Counter().rate(1.0, 1.0)
+
+    def test_bulk_increment_is_compact(self):
+        """A big amount stores one (time, amount) pair, not N copies."""
+        counter = Counter()
+        counter.increment(0.5, amount=10_000_000)
+        assert counter.total == 10_000_000
+        assert len(counter._events) == 1
+        assert counter.rate(0.0, 1.0) == pytest.approx(10_000_000)
+
+    def test_rate_window_half_open(self):
+        counter = Counter()
+        counter.increment(0.0, amount=2)
+        counter.increment(1.0, amount=5)  # at `end`, excluded
+        assert counter.rate(0.0, 1.0) == pytest.approx(2.0)
+
+    def test_zero_amount_records_nothing(self):
+        counter = Counter()
+        counter.increment(0.5, amount=0)
+        assert counter.total == 0
+        assert counter._events == []
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(0.0, amount=-1)
+
+
+class TestSummaryEdgeCases:
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Summary().percentile(50)
+
+    def test_empty_min_max_raise(self):
+        with pytest.raises(ValueError):
+            Summary().minimum
+        with pytest.raises(ValueError):
+            Summary().maximum
