@@ -1,0 +1,218 @@
+"""Runtime benchmark: simcore hot-path throughput, sweep parallelism,
+and cache warm/cold timing.
+
+Plain script (not pytest — ``testpaths`` keeps it out of tier-1)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py
+    PYTHONPATH=src python benchmarks/bench_runtime.py --quick --jobs 2
+
+Writes ``BENCH_runtime.json`` (override with ``--out``) with three
+sections:
+
+* ``simcore`` — events/sec on three micro-workloads (pure timeout
+  chains, process churn with interrupts, AnyOf fan-out). These gate the
+  hot-path optimization: the PR's target is >= 15% over the seed.
+* ``sweep`` — wall-clock for a set of exhibits run serially and under
+  ``--jobs N`` (point-level for single exhibits, exhibit-level for the
+  batch), plus the speedup ratio.
+* ``cache`` — cold-compute vs warm-load timing for one exhibit.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime import (  # noqa: E402
+    RunSpec,
+    SweepExecutor,
+    run_exhibit,
+    use_executor,
+)
+from repro.simcore import AnyOf, Interrupt, Simulator  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# simcore micro-benchmarks — events/sec on the three hot shapes.
+
+
+def _bench_timeouts(n: int) -> float:
+    """A single process advancing through ``n`` zero-cost timeouts."""
+    sim = Simulator(1)
+
+    def ticker():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    started = time.perf_counter()
+    sim.run()
+    return sim._sequence / (time.perf_counter() - started)
+
+
+def _bench_churn(n: int) -> float:
+    """Short-lived processes spawned, waited on, and interrupted."""
+    sim = Simulator(1)
+
+    def worker():
+        try:
+            yield sim.timeout(5.0)
+        except Interrupt:
+            pass
+
+    def spawner():
+        for index in range(n):
+            child = sim.process(worker())
+            if index % 2:
+                yield sim.timeout(1.0)
+                child.interrupt("churn")
+            yield child
+
+    sim.process(spawner())
+    started = time.perf_counter()
+    sim.run()
+    return sim._sequence / (time.perf_counter() - started)
+
+
+def _bench_anyof(n: int, fan: int = 8) -> float:
+    """AnyOf over ``fan`` staggered timeouts, ``n`` rounds; the losers
+    fire later as stale wake-ups — the O(1) bookkeeping path."""
+    sim = Simulator(1)
+
+    def racer():
+        for _ in range(n):
+            yield AnyOf(sim, [sim.timeout(float(delay + 1))
+                              for delay in range(fan)])
+            yield sim.timeout(float(fan + 1))
+
+    sim.process(racer())
+    started = time.perf_counter()
+    sim.run()
+    return sim._sequence / (time.perf_counter() - started)
+
+
+def bench_simcore(quick: bool) -> dict:
+    scale = 1 if quick else 3
+    out = {}
+    for name, fn, n in (("timeout_chain", _bench_timeouts, 200_000 * scale),
+                        ("process_churn", _bench_churn, 60_000 * scale),
+                        ("anyof_fanout", _bench_anyof, 30_000 * scale)):
+        rates = [fn(n) for _ in range(2 if quick else 3)]
+        out[name] = {"events_per_sec": round(max(rates)), "n": n}
+        print(f"  simcore/{name}: {max(rates):,.0f} events/s")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sweep executor — serial vs parallel exhibit wall-clock.
+
+QUICK_EXHIBITS = ["fig2", "fig17", "table1", "fig13"]
+FULL_EXHIBITS = QUICK_EXHIBITS + ["fig4", "fig5", "fig14", "fig15"]
+
+
+def bench_sweep(jobs: int, quick: bool) -> dict:
+    exhibits = QUICK_EXHIBITS if quick else FULL_EXHIBITS
+    specs = [RunSpec(exp_id, use_cache=False) for exp_id in exhibits]
+
+    started = time.perf_counter()
+    for spec in specs:
+        run_exhibit(spec)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with SweepExecutor(jobs=jobs) as executor:
+        list(executor.imap(run_exhibit, specs))
+    batch_s = time.perf_counter() - started
+
+    # Point-level parallelism inside the sweep-heaviest single exhibit.
+    single = "fig2"
+    started = time.perf_counter()
+    run_exhibit(RunSpec(single, use_cache=False))
+    single_serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    with use_executor(jobs=jobs):
+        run_exhibit(RunSpec(single, use_cache=False))
+    single_parallel_s = time.perf_counter() - started
+
+    print(f"  sweep/batch ({len(exhibits)} exhibits): "
+          f"{serial_s:.2f}s serial, {batch_s:.2f}s at --jobs {jobs} "
+          f"({serial_s / batch_s:.2f}x)")
+    print(f"  sweep/{single}: {single_serial_s:.2f}s serial, "
+          f"{single_parallel_s:.2f}s at --jobs {jobs}")
+    return {
+        "jobs": jobs,
+        "exhibits": exhibits,
+        "batch_serial_s": round(serial_s, 3),
+        "batch_parallel_s": round(batch_s, 3),
+        "batch_speedup": round(serial_s / batch_s, 2),
+        "single_exhibit": single,
+        "single_serial_s": round(single_serial_s, 3),
+        "single_parallel_s": round(single_parallel_s, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# result cache — cold compute vs warm load.
+
+
+def bench_cache() -> dict:
+    exp_id = "fig17"
+    with tempfile.TemporaryDirectory() as cache_dir:
+        spec = RunSpec(exp_id, cache_dir=cache_dir)
+        started = time.perf_counter()
+        cold = run_exhibit(spec)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_exhibit(spec)
+        warm_s = time.perf_counter() - started
+    assert not cold.cache_hit and warm.cache_hit
+    assert cold.result == warm.result
+    print(f"  cache/{exp_id}: {cold_s:.3f}s cold, {warm_s:.3f}s warm")
+    return {"exhibit": exp_id, "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller iteration counts (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel jobs for the sweep section "
+                             "(0 = all cores)")
+    parser.add_argument("--out", default="BENCH_runtime.json",
+                        help="output JSON path")
+    options = parser.parse_args(argv)
+    jobs = options.jobs or multiprocessing.cpu_count()
+
+    print("simcore hot path:")
+    simcore = bench_simcore(options.quick)
+    print("sweep executor:")
+    sweep = bench_sweep(jobs, options.quick)
+    print("result cache:")
+    cache = bench_cache()
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": multiprocessing.cpu_count(),
+            "quick": options.quick,
+        },
+        "simcore": simcore,
+        "sweep": sweep,
+        "cache": cache,
+    }
+    with open(options.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {options.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,23 @@ Usage::
 
     python -m repro.experiments                    # list exhibits
     python -m repro.experiments fig11              # run one and print it
-    python -m repro.experiments all                # run everything (minutes)
+    python -m repro.experiments all                # run everything
+    python -m repro.experiments all --jobs 0       # ... on every core
+    python -m repro.experiments fig11 --no-cache   # force recompute
     python -m repro.experiments --report out fig11 # also drop artifacts
+
+Runs go through ``repro.runtime``:
+
+* ``--jobs N`` parallelizes over ``N`` worker processes (``0`` = all
+  cores). A single exhibit parallelizes its internal sweeps (RPS grids,
+  seed repeats); several exhibits (or ``all``) fan out whole exhibits,
+  one per worker. Results print in request order either way, and are
+  byte-identical to a serial run.
+* Finished exhibits are cached under ``--cache-dir`` (default
+  ``.repro-cache/``, or ``$REPRO_CACHE_DIR``), keyed by the exhibit id,
+  the cost-model fingerprint, and the source hash of the exhibit's
+  import closure — touching a module only invalidates the exhibits
+  that (transitively) import it. ``--no-cache`` bypasses the cache.
 
 With ``--report <dir>``, every exhibit run executes with an enabled
 telemetry registry and step profiling, and drops three machine-readable
@@ -16,72 +31,79 @@ artifacts into ``<dir>``:
 * ``<exp_id>.prom``        — Prometheus text-format metrics snapshot;
 * ``<exp_id>.trace.json``  — Chrome ``trace_event`` JSON (open in
   ``chrome://tracing`` or https://ui.perfetto.dev).
+
+Artifacts require a real execution, so ``--report`` refreshes the cache
+instead of reading it.
 """
 
+import argparse
 import sys
-import time
 
-from ..obs import (
-    Telemetry,
-    disable_profiling,
-    enable_profiling,
-    set_telemetry,
-    take_profilers,
-    write_run_artifacts,
-)
-from . import EXPERIMENTS, run
-
-USAGE = "usage: python -m repro.experiments [--report <dir>] <exhibit>|all"
+from ..runtime import RunSpec, SweepExecutor, run_exhibit, use_executor
+from . import EXPERIMENTS
 
 
-def _run_with_report(exp_id: str, report_dir: str):
-    """Run one exhibit under telemetry + profiling; write its artifacts."""
-    telemetry = Telemetry(enabled=True)
-    previous = set_telemetry(telemetry)
-    enable_profiling(keep_timeline=True)
-    take_profilers()  # drop any profilers a previous exhibit leaked
-    started = time.time()
-    try:
-        result = run(exp_id)
-    finally:
-        disable_profiling()
-        set_telemetry(previous)
-    elapsed = time.time() - started
-    profilers = take_profilers()
-    paths = write_run_artifacts(
-        report_dir, exp_id, result=result, telemetry=telemetry,
-        profilers=profilers,
-        meta={"exp_id": exp_id, "wall_clock_s": elapsed,
-              "simulators_profiled": len(profilers)})
-    return result, elapsed, paths
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate paper exhibits.")
+    parser.add_argument("targets", nargs="*", metavar="exhibit",
+                        help="exhibit ids to run, or 'all'")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = all cores; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't write the result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory "
+                             "(default .repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--report", default=None, metavar="DIR",
+                        help="write report/metrics/trace artifacts to DIR")
+    return parser
+
+
+def _print_run(run) -> None:
+    print(run.result.formatted())
+    status = "cached" if run.cache_hit else "regenerated"
+    line = f"[{run.exp_id} {status} in {run.elapsed_s:.1f}s"
+    if run.artifact_paths:
+        line += "; artifacts: " + ", ".join(sorted(
+            run.artifact_paths.values()))
+    print(line + "]\n")
 
 
 def main(argv) -> int:
-    args = list(argv[1:])
-    report_dir = None
-    if "--report" in args:
-        index = args.index("--report")
-        if index + 1 >= len(args):
-            print(USAGE)
-            return 1
-        report_dir = args[index + 1]
-        del args[index:index + 2]
-    if not args:
-        print(USAGE)
+    try:
+        options = _parser().parse_args(argv[1:])
+    except SystemExit as exit_:  # argparse error (2) or --help (0)
+        return 0 if exit_.code == 0 else 1
+    if not options.targets:
+        _parser().print_usage()
         print("exhibits:", " ".join(EXPERIMENTS))
         return 1
-    targets = list(EXPERIMENTS) if args[0] == "all" else args
-    for exp_id in targets:
-        if report_dir is not None:
-            result, elapsed, paths = _run_with_report(exp_id, report_dir)
-            print(result.formatted())
-            print(f"[{exp_id} regenerated in {elapsed:.1f}s; artifacts: "
-                  + ", ".join(sorted(paths.values())) + "]\n")
-        else:
-            started = time.time()
-            result = run(exp_id)
-            print(result.formatted())
-            print(f"[{exp_id} regenerated in {time.time() - started:.1f}s]\n")
+    if options.targets == ["all"]:
+        targets = list(EXPERIMENTS)
+    else:
+        targets = options.targets
+        unknown = [t for t in targets if t not in EXPERIMENTS]
+        if unknown:
+            print("unknown exhibit(s):", " ".join(unknown), file=sys.stderr)
+            print("known exhibits:", " ".join(EXPERIMENTS), file=sys.stderr)
+            return 1
+
+    specs = [RunSpec(exp_id, report_dir=options.report,
+                     use_cache=not options.no_cache,
+                     cache_dir=options.cache_dir)
+             for exp_id in targets]
+    if len(specs) == 1:
+        # One exhibit: spend the workers inside it, on its own sweeps.
+        with use_executor(jobs=options.jobs):
+            _print_run(run_exhibit(specs[0]))
+        return 0
+    # Several exhibits: one exhibit per worker; inner sweeps stay serial
+    # (pool workers are daemonic and cannot nest pools).
+    with SweepExecutor(jobs=options.jobs) as executor:
+        for run in executor.imap(run_exhibit, specs):
+            _print_run(run)
     return 0
 
 

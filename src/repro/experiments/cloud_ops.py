@@ -26,6 +26,7 @@ from ..core import (
     TenantService,
 )
 from ..core.replica import ReplicaConfig
+from ..runtime.sweep import sweep_map
 from ..simcore import Simulator, TimeSeries, cdf, percentile
 from ..workloads import surge_trace
 from .base import ExperimentResult, Series, Table
@@ -217,16 +218,12 @@ def fig16_noisy_neighbor(seed: int = 31, duration_s: int = 90,
 # Fig 17 / Table 4 — Reuse vs New completion times
 # --------------------------------------------------------------------------
 
-def fig17_scaling_cdf(reuse_events: int = 120, new_events: int = 25,
-                      seed: int = 37) -> ExperimentResult:
-    """Completion-time CDFs of the two strategies.
-
-    The pool state decides the strategy: Reuse events run against a
-    pool with idle backends; New events run when every same-AZ backend
-    is above the reuse threshold.
+def _fig17_seed_run(spec: Tuple[int, int, int]) -> Dict[str, Dict[str, list]]:
+    """One scaling scenario at one seed → per-kind completion times and
+    ``(triggered, executed, finished, below_threshold)`` milestones —
+    plain picklable lists, so seed sweeps parallelize and results cache.
     """
-    result = ExperimentResult("fig17", "CDF of completion time of "
-                                       "Reuse and New")
+    reuse_events, new_events, seed = spec
     sim = Simulator(seed)
     gateway, services = build_production_gateway(
         sim, backends_per_az=8, services=10)
@@ -250,9 +247,38 @@ def fig17_scaling_cdf(reuse_events: int = 120, new_events: int = 25,
 
     sim.process(scenario(), name="scenario")
     sim.run()
+    return {kind: {
+        "times": list(scaling.completion_times(kind)),
+        "milestones": [(event.triggered_at, event.executed_at,
+                        event.finished_at, event.below_threshold_at)
+                       for event in scaling.events_of_kind(kind)],
+    } for kind in ("reuse", "new")}
 
+
+def fig17_scaling_cdf(reuse_events: int = 120, new_events: int = 25,
+                      seed: int = 37,
+                      seeds: Optional[List[int]] = None) -> ExperimentResult:
+    """Completion-time CDFs of the two strategies.
+
+    The pool state decides the strategy: Reuse events run against a
+    pool with idle backends; New events run when every same-AZ backend
+    is above the reuse threshold.
+
+    ``seeds`` sweeps the whole scenario over several seeds (through the
+    ambient sweep executor) and pools the completion times for a denser
+    CDF; the default single ``seed`` reproduces the paper exhibit.
+    """
+    result = ExperimentResult("fig17", "CDF of completion time of "
+                                       "Reuse and New")
+    seed_grid = list(seeds) if seeds else [seed]
+    runs = sweep_map(_fig17_seed_run,
+                     [(reuse_events, new_events, one_seed)
+                      for one_seed in seed_grid])
+    milestones: Dict[str, list] = {}
     for kind in ("reuse", "new"):
-        times = scaling.completion_times(kind)
+        times = [t for run in runs for t in run[kind]["times"]]
+        milestones[kind] = [m for run in runs
+                            for m in run[kind]["milestones"]]
         series = Series(f"{kind}_completion_cdf", x_label="seconds",
                         y_label="fraction")
         for value, fraction in cdf(times):
@@ -262,26 +288,24 @@ def fig17_scaling_cdf(reuse_events: int = 120, new_events: int = 25,
         result.findings[f"{kind}_count"] = float(len(times))
     result.notes.append(
         "paper: P50 completion ~55 s for Reuse and ~17 min for New")
-    result._scaling_engine = scaling  # reused by table4
+    result._scaling_milestones = milestones  # reused by table4
     return result
 
 
 def table4_scaling_timelines(seed: int = 37) -> ExperimentResult:
     """One Reuse and one New timeline, milestone by milestone."""
     base = fig17_scaling_cdf(reuse_events=3, new_events=2, seed=seed)
-    engine: ScalingEngine = base._scaling_engine
     result = ExperimentResult("table4", "Reuse and New timelines")
     table = Table("Milestones (seconds relative to trigger)",
                   ["strategy", "execute", "finish", "below_threshold"])
     for kind in ("reuse", "new"):
-        events = engine.events_of_kind(kind)
-        event = events[0]
+        triggered, executed, finished, below = (
+            base._scaling_milestones[kind][0])
         table.add_row(kind,
-                      event.executed_at - event.triggered_at,
-                      event.finished_at - event.triggered_at,
-                      event.below_threshold_at - event.triggered_at)
-        result.findings[f"{kind}_execute_to_finish_s"] = (
-            event.finished_at - event.executed_at)
+                      executed - triggered,
+                      finished - triggered,
+                      below - triggered)
+        result.findings[f"{kind}_execute_to_finish_s"] = finished - executed
     result.tables.append(table)
     result.notes.append(
         "paper Table 4: Reuse executes in ~23 s and settles ~74 s after "

@@ -7,7 +7,7 @@ Fig 12 (crypto-offload CPU saving), Fig 13 (CPU usage), Fig 14
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core import CanalControlPlane
 from ..mesh import (
@@ -16,6 +16,7 @@ from ..mesh import (
     IstioControlPlane,
     MeshCostModel,
 )
+from ..runtime.sweep import sweep_map
 from ..simcore import Simulator, percentile
 from ..workloads import OpenLoopDriver, ShortFlowDriver
 from .base import ExperimentResult, Series, Table
@@ -109,6 +110,18 @@ def fig11_latency_vs_rps(grids: Optional[Dict[str, List[float]]] = None,
 # Fig 12 — on-node proxy CPU saving from crypto offloading
 # --------------------------------------------------------------------------
 
+def _fig12_point(spec: Tuple[dict, float, int, MeshCostModel, float]
+                 ) -> float:
+    """One (crypto mode, rps) testbed run → on-node CPU cores."""
+    kwargs, rps, seed, costs, duration_s = spec
+    run = build_testbed("canal", seed=seed, costs=costs,
+                        mesh_kwargs=dict(kwargs))
+    driver = ShortFlowDriver(run.sim, run.mesh, run.client_pod,
+                             "svc1", rps=rps, duration_s=duration_s)
+    run.run_driver(driver)
+    return run.mesh.user_cpu_seconds() / duration_s
+
+
 def fig12_crypto_cpu_saving(rps_levels: Optional[List[float]] = None,
                             seed: int = 7,
                             costs: MeshCostModel = DEFAULT_COSTS,
@@ -122,23 +135,20 @@ def fig12_crypto_cpu_saving(rps_levels: Optional[List[float]] = None,
     result = ExperimentResult(
         "fig12", "On-node proxy CPU saving with crypto offloading")
     levels = rps_levels or [100, 400, 1000]
+    modes = (
+        ("software", {"crypto_offload": "software",
+                      "software_new_cpu": False}),
+        ("local", {"crypto_offload": "local"}),
+        ("remote", {"crypto_offload": "remote"}))
+    specs = [(kwargs, rps, seed, costs, duration_s)
+             for _mode, kwargs in modes for rps in levels]
+    usages_flat = sweep_map(_fig12_point, specs)
     cpu_by_mode: Dict[str, List[float]] = {}
-    for mode, kwargs in (
-            ("software", {"crypto_offload": "software",
-                          "software_new_cpu": False}),
-            ("local", {"crypto_offload": "local"}),
-            ("remote", {"crypto_offload": "remote"})):
+    for index, (mode, _kwargs) in enumerate(modes):
+        usages = usages_flat[index * len(levels):(index + 1) * len(levels)]
         series = Series(f"{mode}_onnode_cpu_cores", x_label="rps",
                         y_label="cores")
-        usages = []
-        for rps in levels:
-            run = build_testbed("canal", seed=seed, costs=costs,
-                                mesh_kwargs=kwargs)
-            driver = ShortFlowDriver(run.sim, run.mesh, run.client_pod,
-                                     "svc1", rps=rps, duration_s=duration_s)
-            run.run_driver(driver)
-            cores = run.mesh.user_cpu_seconds() / duration_s
-            usages.append(cores)
+        for rps, cores in zip(levels, usages):
             series.add(rps, cores)
         cpu_by_mode[mode] = usages
         result.series.append(series)
@@ -164,6 +174,19 @@ def fig12_crypto_cpu_saving(rps_levels: Optional[List[float]] = None,
 # Fig 13 — CPU usage of Istio, Ambient, and Canal
 # --------------------------------------------------------------------------
 
+def _fig13_point(spec: Tuple[str, float, int, MeshCostModel, float]
+                 ) -> Tuple[float, float]:
+    """One (mesh, rps) testbed run → (user cores, infra cores)."""
+    mesh_name, rps, seed, costs, duration_s = spec
+    run = build_testbed(mesh_name, seed=seed, costs=costs)
+    driver = OpenLoopDriver(run.sim, run.mesh, run.client_pod,
+                            "svc1", rps=rps, duration_s=duration_s,
+                            connections=50)
+    run.run_driver(driver)
+    return (run.mesh.user_cpu_seconds() / duration_s,
+            run.mesh.infra_cpu_seconds() / duration_s)
+
+
 def fig13_cpu_usage(rps_levels: Optional[List[float]] = None, seed: int = 7,
                     costs: MeshCostModel = DEFAULT_COSTS,
                     duration_s: float = 3.0) -> ExperimentResult:
@@ -171,21 +194,19 @@ def fig13_cpu_usage(rps_levels: Optional[List[float]] = None, seed: int = 7,
     Canal (proxy = user cluster only) and Canal (total = + gateway)."""
     result = ExperimentResult("fig13", "CPU usage of Istio, Ambient, Canal")
     levels = rps_levels or [200, 500, 1000]
+    meshes = ("istio", "ambient", "canal")
+    specs = [(mesh_name, rps, seed, costs, duration_s)
+             for mesh_name in meshes for rps in levels]
+    points = sweep_map(_fig13_point, specs)
     user_cores: Dict[str, List[float]] = {}
     total_cores: Dict[str, List[float]] = {}
-    for mesh_name in ("istio", "ambient", "canal"):
+    for index, mesh_name in enumerate(meshes):
         user_series = Series(f"{mesh_name}_user_cpu", x_label="rps",
                              y_label="cores")
         user_cores[mesh_name] = []
         total_cores[mesh_name] = []
-        for rps in levels:
-            run = build_testbed(mesh_name, seed=seed, costs=costs)
-            driver = OpenLoopDriver(run.sim, run.mesh, run.client_pod,
-                                    "svc1", rps=rps, duration_s=duration_s,
-                                    connections=50)
-            run.run_driver(driver)
-            user = run.mesh.user_cpu_seconds() / duration_s
-            infra = run.mesh.infra_cpu_seconds() / duration_s
+        for rps, (user, infra) in zip(
+                levels, points[index * len(levels):(index + 1) * len(levels)]):
             user_cores[mesh_name].append(user)
             total_cores[mesh_name].append(user + infra)
             user_series.add(rps, user)
@@ -219,39 +240,49 @@ _PLANES = {
 }
 
 
+def _fig14_point(spec: Tuple[str, int, int]) -> float:
+    """One (mesh, pod count, repeat) control-plane run → completion_s."""
+    from ..k8s import Cluster
+    from ..netsim import Topology
+
+    mesh_name, count, run_seed = spec
+    sim = Simulator(run_seed)
+    topology = Topology.multi_az_region(
+        azs=1, nodes_per_az=max(2, count // 15))
+    cluster = Cluster("cp", topology.all_nodes(),
+                      node_cpu_millicores=10_000_000,
+                      node_memory_mb=10_000_000)
+    for index in range(3):
+        cluster.create_deployment(f"s{index}", replicas=5,
+                                  labels={"app": f"s{index}"})
+        cluster.create_service(f"s{index}",
+                               selector={"app": f"s{index}"})
+    plane = _PLANES[mesh_name](sim, cluster)
+    process = sim.process(plane.create_pods_and_configure(count, "s0"))
+    sim.run()
+    return process.value.completion_s
+
+
 def fig14_config_completion(pod_counts: Optional[List[int]] = None,
                             repeats: int = 5, seed: int = 19
                             ) -> ExperimentResult:
     """P90 time from an API call creating N pods to successful pings."""
-    from ..k8s import Cluster
-    from ..netsim import Topology
-
     result = ExperimentResult(
         "fig14", "Configuration completion time for pod creation")
     counts = pod_counts or [50, 100, 200, 400]
+    specs = [(mesh_name, count, seed + repeat)
+             for mesh_name in _PLANES
+             for count in counts
+             for repeat in range(repeats)]
+    samples_flat = sweep_map(_fig14_point, specs)
     p90: Dict[str, List[float]] = {name: [] for name in _PLANES}
-    for mesh_name, plane_cls in _PLANES.items():
+    cursor = 0
+    for mesh_name in _PLANES:
         series = Series(f"{mesh_name}_p90_completion", x_label="pods",
                         y_label="seconds")
         for count in counts:
-            samples = []
-            for repeat in range(repeats):
-                sim = Simulator(seed + repeat)
-                topology = Topology.multi_az_region(
-                    azs=1, nodes_per_az=max(2, count // 15))
-                cluster = Cluster("cp", topology.all_nodes(),
-                                  node_cpu_millicores=10_000_000,
-                                  node_memory_mb=10_000_000)
-                for index in range(3):
-                    cluster.create_deployment(f"s{index}", replicas=5,
-                                              labels={"app": f"s{index}"})
-                    cluster.create_service(f"s{index}",
-                                           selector={"app": f"s{index}"})
-                plane = plane_cls(sim, cluster)
-                process = sim.process(
-                    plane.create_pods_and_configure(count, "s0"))
-                sim.run()
-                samples.append(process.value.completion_s)
+            samples = samples_flat[cursor:cursor + repeats]
+            cursor += repeats
             value = percentile(samples, 90)
             p90[mesh_name].append(value)
             series.add(count, value)

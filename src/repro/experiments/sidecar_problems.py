@@ -6,7 +6,7 @@ Table 1, Fig 2, Fig 3, Fig 4, Fig 5, Table 2, Table 3.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..k8s import Cluster, ResourceRequest
 from ..mesh import (
@@ -18,6 +18,7 @@ from ..mesh import (
 from ..mesh.costs import sample_service_time
 from ..mesh.proxy import ProxyTier
 from ..netsim import Topology
+from ..runtime.sweep import sweep_map
 from ..simcore import Simulator, Summary
 from ..workloads import growth_trend, update_frequency_for_cluster
 from .base import ExperimentResult, Series, Table
@@ -53,6 +54,46 @@ _TABLE1_CLUSTERS = [
 ]
 
 
+def _table1_point(spec: Tuple[Tuple[int, int, int, int, float, float],
+                              float, int]) -> List[object]:
+    """Build one scaled production cluster → its table row."""
+    (nodes, pods, sidecar_cpu, sidecar_mem,
+     cpu_target, mem_target), scale, seed = spec
+    headroom = 1.15  # node capacity beyond scheduled requests
+    n_nodes = max(3, int(nodes * scale))
+    n_pods = max(4, int(pods * scale))
+    # The first node is the master; pods land on the workers.
+    pods_per_node = -(-n_pods // (n_nodes - 1))
+    # App sizes back-solved so the sidecar lands at the cluster's
+    # observed share of total capacity.
+    app_cpu = int(sidecar_cpu * (1.0 / (cpu_target * headroom) - 1))
+    app_mem = int(sidecar_mem * (1.0 / (mem_target * headroom) - 1))
+    node_cpu = int(pods_per_node * (app_cpu + sidecar_cpu) * headroom)
+    node_mem = int(pods_per_node * (app_mem + sidecar_mem) * headroom)
+    sim = Simulator(seed)
+    topology = Topology.multi_az_region(azs=1, nodes_per_az=n_nodes)
+    cluster = Cluster("prod", topology.all_nodes(),
+                      node_cpu_millicores=node_cpu,
+                      node_memory_mb=node_mem)
+    mesh = IstioMesh(sim, sidecar_resources=ResourceRequest(
+        cpu_millicores=sidecar_cpu, memory_mb=sidecar_mem))
+    mesh.attach(cluster)
+    cluster.create_deployment(
+        "app", replicas=n_pods, labels={"app": "app"},
+        resources=ResourceRequest(cpu_millicores=app_cpu,
+                                  memory_mb=app_mem))
+    usage = cluster.resource_usage()
+    cpu_share = (usage["sidecar_cpu_millicores"]
+                 / usage["capacity_cpu_millicores"])
+    mem_share = (usage["sidecar_memory_mb"]
+                 / usage["capacity_memory_mb"])
+    return [nodes, pods,
+            usage["sidecar_cpu_millicores"] / scale / 1000.0,
+            cpu_share,
+            usage["sidecar_memory_mb"] / scale / 1024.0,
+            mem_share]
+
+
 def table1_sidecar_resources(scale: float = 0.1,
                              seed: int = 3) -> ExperimentResult:
     """Build each production cluster (scaled down) with sidecar
@@ -65,41 +106,10 @@ def table1_sidecar_resources(scale: float = 0.1,
     table = Table("Sidecar share of cluster resources",
                   ["nodes", "pods", "sidecar_cpu_cores", "cpu_share",
                    "sidecar_memory_gb", "memory_share"])
-    headroom = 1.15  # node capacity beyond scheduled requests
-    for (nodes, pods, sidecar_cpu, sidecar_mem,
-         cpu_target, mem_target) in _TABLE1_CLUSTERS:
-        n_nodes = max(3, int(nodes * scale))
-        n_pods = max(4, int(pods * scale))
-        # The first node is the master; pods land on the workers.
-        pods_per_node = -(-n_pods // (n_nodes - 1))
-        # App sizes back-solved so the sidecar lands at the cluster's
-        # observed share of total capacity.
-        app_cpu = int(sidecar_cpu * (1.0 / (cpu_target * headroom) - 1))
-        app_mem = int(sidecar_mem * (1.0 / (mem_target * headroom) - 1))
-        node_cpu = int(pods_per_node * (app_cpu + sidecar_cpu) * headroom)
-        node_mem = int(pods_per_node * (app_mem + sidecar_mem) * headroom)
-        sim = Simulator(seed)
-        topology = Topology.multi_az_region(azs=1, nodes_per_az=n_nodes)
-        cluster = Cluster("prod", topology.all_nodes(),
-                          node_cpu_millicores=node_cpu,
-                          node_memory_mb=node_mem)
-        mesh = IstioMesh(sim, sidecar_resources=ResourceRequest(
-            cpu_millicores=sidecar_cpu, memory_mb=sidecar_mem))
-        mesh.attach(cluster)
-        cluster.create_deployment(
-            "app", replicas=n_pods, labels={"app": "app"},
-            resources=ResourceRequest(cpu_millicores=app_cpu,
-                                      memory_mb=app_mem))
-        usage = cluster.resource_usage()
-        cpu_share = (usage["sidecar_cpu_millicores"]
-                     / usage["capacity_cpu_millicores"])
-        mem_share = (usage["sidecar_memory_mb"]
-                     / usage["capacity_memory_mb"])
-        table.add_row(nodes, pods,
-                      usage["sidecar_cpu_millicores"] / scale / 1000.0,
-                      cpu_share,
-                      usage["sidecar_memory_mb"] / scale / 1024.0,
-                      mem_share)
+    for row in sweep_map(_table1_point,
+                         [(cluster_row, scale, seed)
+                          for cluster_row in _TABLE1_CLUSTERS]):
+        table.add_row(*row)
     result.tables.append(table)
     shares = table.column("cpu_share")
     result.findings["max_cpu_share"] = max(shares)
@@ -112,6 +122,31 @@ def table1_sidecar_resources(scale: float = 0.1,
 # --------------------------------------------------------------------------
 # Fig 2 — sidecar CPU utilization vs end-to-end latency
 # --------------------------------------------------------------------------
+
+def _fig2_point(spec: Tuple[float, int, float, float, int, float]
+                ) -> Tuple[float, float]:
+    """One utilization level on a standalone sidecar → (p99, mean)."""
+    target_util, seed, mean_cost, sigma, cores, duration_s = spec
+    capacity = cores / mean_cost
+    sim = Simulator(seed)
+    tier = ProxyTier(sim, cores=cores, name="sidecar")
+    latencies = Summary("lat")
+
+    def one():
+        start = sim.now
+        cost = sample_service_time(sim.rng, mean_cost, sigma)
+        yield from tier.work(cost)
+        latencies.add(sim.now - start)
+
+    def arrivals(rate=target_util * capacity):
+        while sim.now < duration_s:
+            yield sim.timeout(sim.rng.expovariate(rate))
+            sim.process(one(), name="req")
+
+    sim.process(arrivals(), name="arrivals")
+    sim.run()
+    return latencies.percentile(99), latencies.mean
+
 
 def fig2_latency_vs_utilization(seed: int = 11,
                                 costs: MeshCostModel = DEFAULT_COSTS,
@@ -126,36 +161,16 @@ def fig2_latency_vs_utilization(seed: int = 11,
         "fig2", "Sidecar CPU usage vs end-to-end latency")
     mean_cost = costs.istio_sidecar_l7_s
     sigma = costs.istio_l7_sigma
-    cores = 2
-    capacity = cores / mean_cost
+    utilizations = (0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.85, 0.92)
+    points = sweep_map(_fig2_point,
+                       [(target_util, seed, mean_cost, sigma, 2, duration_s)
+                        for target_util in utilizations])
     series_p99 = Series("p99_latency", x_label="cpu_utilization",
                         y_label="latency_multiplier")
     series_mean = Series("mean_latency", x_label="cpu_utilization",
                          y_label="latency_multiplier")
-    base_mean = None
-    for target_util in (0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.85, 0.92):
-        sim = Simulator(seed)
-        tier = ProxyTier(sim, cores=cores, name="sidecar")
-        latencies = Summary("lat")
-
-        def one(latencies=latencies, sim=sim, tier=tier):
-            start = sim.now
-            cost = sample_service_time(sim.rng, mean_cost, sigma)
-            yield from tier.work(cost)
-            latencies.add(sim.now - start)
-
-        def arrivals(sim=sim, rate=target_util * capacity):
-            end = duration_s
-            while sim.now < end:
-                yield sim.timeout(sim.rng.expovariate(rate))
-                sim.process(one(), name="req")
-
-        sim.process(arrivals(), name="arrivals")
-        sim.run()
-        p99 = latencies.percentile(99)
-        mean = latencies.mean
-        if base_mean is None:
-            base_mean = mean
+    base_mean = points[0][1]
+    for target_util, (p99, mean) in zip(utilizations, points):
         series_p99.add(target_util, p99 / base_mean)
         series_mean.add(target_util, mean / base_mean)
     result.series.extend([series_p99, series_mean])
@@ -192,6 +207,32 @@ def fig3_sidecar_growth(seed: int = 5) -> ExperimentResult:
 # Fig 4 — controller CPU usage and pod update time vs cluster size
 # --------------------------------------------------------------------------
 
+def _fig4_point(spec: Tuple[int, int]) -> Tuple[float, float, float]:
+    """One cluster size → (build cpu_s, push cpu rate, completion_s)."""
+    pods, seed = spec
+    sim = Simulator(seed)
+    topology = Topology.multi_az_region(azs=1,
+                                        nodes_per_az=max(2, pods // 15))
+    cluster = Cluster("cp", topology.all_nodes(),
+                      node_cpu_millicores=10_000_000,
+                      node_memory_mb=10_000_000)
+    services = max(1, pods // 2)
+    per_service = max(1, pods // services)
+    for index in range(services):
+        cluster.create_deployment(f"s{index}", replicas=per_service,
+                                  labels={"app": f"s{index}"})
+        cluster.create_service(f"s{index}", selector={"app": f"s{index}"})
+    plane = IstioControlPlane(sim, cluster)
+    push = sim.process(plane.push_update())
+    sim.run()
+    report = push.value
+    # Pushing is I/O-bound: its CPU *rate* during the update stays
+    # flat while total bytes (and completion) grow.
+    return (report.build_cpu_s,
+            report.push_cpu_s / report.completion_s,
+            report.completion_s)
+
+
 def fig4_controller_cpu(cluster_sizes: Optional[List[int]] = None,
                         seed: int = 13) -> ExperimentResult:
     """Istio full-config updates: build CPU grows with cluster size,
@@ -204,28 +245,11 @@ def fig4_controller_cpu(cluster_sizes: Optional[List[int]] = None,
                          y_label="cores")
     completion_series = Series("completion_s", x_label="pods",
                                y_label="seconds")
-    for pods in sizes:
-        sim = Simulator(seed)
-        topology = Topology.multi_az_region(azs=1,
-                                            nodes_per_az=max(2, pods // 15))
-        cluster = Cluster("cp", topology.all_nodes(),
-                          node_cpu_millicores=10_000_000,
-                          node_memory_mb=10_000_000)
-        services = max(1, pods // 2)
-        per_service = max(1, pods // services)
-        for index in range(services):
-            cluster.create_deployment(f"s{index}", replicas=per_service,
-                                      labels={"app": f"s{index}"})
-            cluster.create_service(f"s{index}", selector={"app": f"s{index}"})
-        plane = IstioControlPlane(sim, cluster)
-        push = sim.process(plane.push_update())
-        sim.run()
-        report = push.value
-        build_series.add(pods, report.build_cpu_s)
-        # Pushing is I/O-bound: its CPU *rate* during the update stays
-        # flat while total bytes (and completion) grow.
-        push_series.add(pods, report.push_cpu_s / report.completion_s)
-        completion_series.add(pods, report.completion_s)
+    points = sweep_map(_fig4_point, [(pods, seed) for pods in sizes])
+    for pods, (build_cpu, push_rate, completion) in zip(sizes, points):
+        build_series.add(pods, build_cpu)
+        push_series.add(pods, push_rate)
+        completion_series.add(pods, completion)
     result.series.extend([build_series, push_series, completion_series])
     result.findings["build_growth"] = (
         build_series.ys[-1] / build_series.ys[0])
@@ -243,6 +267,19 @@ def fig4_controller_cpu(cluster_sizes: Optional[List[int]] = None,
 # Fig 5 — CPU usage of Istio and Ambient
 # --------------------------------------------------------------------------
 
+def _fig5_point(spec: Tuple[str, float, int, float]) -> float:
+    """One (mesh, rps) testbed run → user-cluster proxy cores."""
+    from ..workloads import OpenLoopDriver
+
+    mesh_name, rps, seed, duration_s = spec
+    run = build_testbed(mesh_name, seed=seed)
+    driver = OpenLoopDriver(run.sim, run.mesh, run.client_pod,
+                            "svc1", rps=rps, duration_s=duration_s,
+                            connections=50)
+    run.run_driver(driver)
+    return run.mesh.user_cpu_seconds() / duration_s
+
+
 def fig5_istio_ambient_cpu(rps_levels: Optional[List[float]] = None,
                            seed: int = 7,
                            duration_s: float = 2.0) -> ExperimentResult:
@@ -251,20 +288,18 @@ def fig5_istio_ambient_cpu(rps_levels: Optional[List[float]] = None,
     Ambient shares proxies but per-service waypoints still see their
     pods' synchronized peaks, so its saving over Istio is bounded.
     """
-    from ..workloads import OpenLoopDriver
-
     result = ExperimentResult("fig5", "CPU usage of Istio and Ambient")
     levels = rps_levels or [200, 500, 1000]
-    for mesh_name in ("istio", "ambient"):
+    meshes = ("istio", "ambient")
+    points = sweep_map(_fig5_point,
+                       [(mesh_name, rps, seed, duration_s)
+                        for mesh_name in meshes for rps in levels])
+    for index, mesh_name in enumerate(meshes):
         series = Series(f"{mesh_name}_user_cpu_cores", x_label="rps",
                         y_label="cores")
-        for rps in levels:
-            run = build_testbed(mesh_name, seed=seed)
-            driver = OpenLoopDriver(run.sim, run.mesh, run.client_pod,
-                                    "svc1", rps=rps, duration_s=duration_s,
-                                    connections=50)
-            run.run_driver(driver)
-            series.add(rps, run.mesh.user_cpu_seconds() / duration_s)
+        for rps, cores in zip(
+                levels, points[index * len(levels):(index + 1) * len(levels)]):
+            series.add(rps, cores)
         result.series.append(series)
     istio = result.series_named("istio_user_cpu_cores")
     ambient = result.series_named("ambient_user_cpu_cores")

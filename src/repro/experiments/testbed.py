@@ -14,6 +14,7 @@ from ..k8s import Cluster
 from ..mesh import AmbientMesh, DEFAULT_COSTS, IstioMesh, MeshCostModel, NoMesh
 from ..mesh.base import ServiceMesh
 from ..netsim import Topology
+from ..runtime.sweep import sweep_imap
 from ..simcore import Simulator
 from ..workloads import ClosedLoopDriver, LoadReport, OpenLoopDriver
 
@@ -98,20 +99,32 @@ def latency_at_rps(mesh_name: str, rps: float, duration_s: float = 3.0,
     return report, run
 
 
+def _knee_point(spec: Tuple[str, float, float, int, MeshCostModel]) -> float:
+    """One RPS grid point → P99 latency (module-level: sweeps pickle it)."""
+    mesh_name, rps, duration_s, seed, costs = spec
+    report, _run = latency_at_rps(mesh_name, rps, duration_s=duration_s,
+                                  seed=seed, costs=costs)
+    return report.latency.percentile(99)
+
+
 def find_knee_rps(mesh_name: str, rps_grid: List[float],
                   spike_multiplier: float = 3.0, seed: int = 7,
                   costs: MeshCostModel = DEFAULT_COSTS,
                   duration_s: float = 3.0) -> Tuple[float, List[Tuple[float, float]]]:
     """Sweep offered RPS; return (knee, [(rps, p99)]) where the knee is
     the last RPS before P99 exceeds ``spike_multiplier`` × its
-    light-load value."""
+    light-load value.
+
+    Grid points run through the ambient sweep executor. Consumption is
+    ordered and stops past the spike, so the returned curve is
+    byte-identical at any ``--jobs`` level (a serial executor also skips
+    *computing* the points past the spike).
+    """
     curve: List[Tuple[float, float]] = []
     base_p99: Optional[float] = None
     knee = rps_grid[0]
-    for rps in rps_grid:
-        report, _run = latency_at_rps(mesh_name, rps, duration_s=duration_s,
-                                      seed=seed, costs=costs)
-        p99 = report.latency.percentile(99)
+    specs = [(mesh_name, rps, duration_s, seed, costs) for rps in rps_grid]
+    for rps, p99 in zip(rps_grid, sweep_imap(_knee_point, specs)):
         curve.append((rps, p99))
         if base_p99 is None:
             base_p99 = p99

@@ -69,12 +69,27 @@ class SimProfiler:
             self._add(self._key(callback, event), advance, wall, start)
             advance = 0.0  # the clock advance belongs to the first callback
 
+    def record_call(self, sim, when: float, call, payload) -> None:
+        """Advance ``sim`` through one direct-call agenda entry.
+
+        Direct calls (process bootstraps, late callbacks, interrupts —
+        see ``simcore.events``) carry a bare callable instead of an
+        Event; timing is attributed exactly like a callback would be.
+        """
+        advance = when - sim.now
+        sim.now = when
+        self.steps += 1
+        start = time.perf_counter()
+        call(payload)
+        wall = time.perf_counter() - start
+        self._add(self._key(call, payload), advance, wall, start)
+
     def _key(self, callback, event) -> str:
         owner = getattr(callback, "__self__", None)
         name = getattr(owner, "name", None)
         if isinstance(name, str) and name:
             return "process:" + (_TRAILING_ID.sub("", name) or name)
-        return type(event).__name__
+        return type(event).__name__.lstrip("_")
 
     def _add(self, key: str, sim_s: float, wall_s: float,
              wall_start: Optional[float]) -> None:

@@ -1,0 +1,271 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Re-running ``python -m repro.experiments all`` after touching one module
+should only recompute the exhibits that can *see* that module. The
+cache key for an exhibit is therefore::
+
+    sha256(exp_id, cache format, python major.minor,
+           cost-model fingerprint,
+           source hash of every repro module the exhibit's module
+           transitively imports)
+
+The import closure comes from a static :mod:`ast` parse of every file in
+the ``repro`` package (intra-package ``import``/``from`` statements,
+including relative ones), not from ``sys.modules`` — so the fingerprint
+is stable, cheap (~one parse per file, computed once per process), and
+conservative: editing ``mesh/proxy.py`` invalidates the testbed
+exhibits that reach it but leaves, say, ``fig3``'s pure-workload cache
+entry warm.
+
+Entries are pickled :class:`~repro.experiments.base.ExperimentResult`
+objects named ``<exp_id>.<digest>.pkl``; a stale digest simply never
+matches again (old entries are inert files, prunable with
+:meth:`ResultCache.prune`). Writes are atomic (tmp + rename) so
+parallel exhibit workers can share a cache directory.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "cached_run",
+    "exhibit_fingerprint",
+    "module_closure",
+]
+
+#: Bump when the pickle payload or key recipe changes shape.
+_CACHE_FORMAT = 1
+
+#: Default cache location; overridable per call or via the environment.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+# -- static import graph over the repro package -----------------------------
+
+def _package_root() -> str:
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _iter_module_files(root: str) -> Iterable[Tuple[str, str]]:
+    """Yield (module name, file path) for every .py under ``repro``."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, os.path.dirname(root))
+            parts = rel[:-3].split(os.sep)
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            yield ".".join(parts), path
+
+
+def _imports_of(module: str, path: str, known: Set[str]) -> Set[str]:
+    """Intra-``repro`` modules ``module`` imports, statically."""
+    with open(path, "rb") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:  # pragma: no cover - repo code always parses
+        return set()
+    package_parts = module.split(".")
+    if not path.endswith("__init__.py"):
+        package_parts = package_parts[:-1]
+    found: Set[str] = set()
+
+    def resolve(name: str) -> None:
+        # Longest known prefix: "repro.core.replica.ReplicaConfig" and
+        # "repro.core" both land on real modules.
+        parts = name.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in known:
+                found.add(candidate)
+                return
+            parts = parts[:-1]
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolve(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[:len(package_parts) - node.level + 1]
+                prefix = ".".join(base)
+            else:
+                prefix = ""
+            stem = node.module or ""
+            base_name = ".".join(p for p in (prefix, stem) if p)
+            if base_name:
+                resolve(base_name)
+            for alias in node.names:
+                if base_name:
+                    resolve(f"{base_name}.{alias.name}")
+                elif node.level == 0:
+                    resolve(alias.name)
+    found.discard(module)
+    return found
+
+
+_graph_cache: Optional[Tuple[Dict[str, str], Dict[str, Set[str]]]] = None
+
+
+def _module_graph() -> Tuple[Dict[str, str], Dict[str, Set[str]]]:
+    """(module -> file path, module -> imported repro modules), memoized."""
+    global _graph_cache
+    if _graph_cache is None:
+        files = dict(_iter_module_files(_package_root()))
+        known = set(files)
+        graph = {module: _imports_of(module, path, known)
+                 for module, path in files.items()}
+        # A package module stands for its __init__; importing it sees
+        # everything the __init__ re-exports (already in its edges).
+        _graph_cache = (files, graph)
+    return _graph_cache
+
+
+def module_closure(module: str) -> List[str]:
+    """``module`` plus every repro module it transitively imports."""
+    files, graph = _module_graph()
+    if module not in files:
+        raise KeyError(f"unknown repro module {module!r}")
+    seen: Set[str] = set()
+    stack = [module]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.get(current, ()))
+        # Importing repro.foo.bar implicitly executes repro.foo/__init__.
+        parent = current.rpartition(".")[0]
+        if parent and parent in files:
+            stack.append(parent)
+    return sorted(seen)
+
+
+_source_hashes: Dict[str, str] = {}
+
+
+def _source_hash(module: str) -> str:
+    digest = _source_hashes.get(module)
+    if digest is None:
+        files, _graph = _module_graph()
+        with open(files[module], "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        _source_hashes[module] = digest
+    return digest
+
+
+# -- fingerprints -----------------------------------------------------------
+
+def _cost_fingerprint() -> str:
+    """The default cost model, pinned into every key.
+
+    Exhibits close over ``DEFAULT_COSTS``; its repr (a frozen dataclass
+    of floats) is deterministic. Source hashes already cover the
+    defaults, but the explicit repr also catches monkey-patched costs
+    in calibration sessions.
+    """
+    from ..mesh import DEFAULT_COSTS
+    return repr(DEFAULT_COSTS)
+
+
+def exhibit_fingerprint(exp_id: str, extra: str = "") -> str:
+    """Digest identifying one exhibit's inputs: id + code + config."""
+    from ..experiments import EXPERIMENTS
+    function = EXPERIMENTS[exp_id]
+    hasher = hashlib.sha256()
+    hasher.update(f"format={_CACHE_FORMAT}\n".encode())
+    hasher.update(f"python={sys.version_info[0]}.{sys.version_info[1]}\n"
+                  .encode())
+    hasher.update(f"exp_id={exp_id}\n".encode())
+    hasher.update(f"costs={_cost_fingerprint()}\n".encode())
+    hasher.update(f"extra={extra}\n".encode())
+    for module in module_closure(function.__module__):
+        hasher.update(f"{module}={_source_hash(module)}\n".encode())
+    return hasher.hexdigest()
+
+
+# -- the cache itself -------------------------------------------------------
+
+class ResultCache:
+    """Pickle store of :class:`ExperimentResult`s keyed by fingerprint."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir or DEFAULT_CACHE_DIR
+
+    def _path(self, exp_id: str, digest: str) -> str:
+        return os.path.join(self.cache_dir, f"{exp_id}.{digest[:24]}.pkl")
+
+    def load(self, exp_id: str, extra: str = ""):
+        """The cached result for the exhibit's current inputs, or None."""
+        path = self._path(exp_id, exhibit_fingerprint(exp_id, extra))
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None  # miss — including unreadable/stale payloads
+
+    def store(self, exp_id: str, result, extra: str = "") -> str:
+        """Atomically persist ``result``; returns the entry path."""
+        path = self._path(exp_id, exhibit_fingerprint(exp_id, extra))
+        os.makedirs(self.cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def prune(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        try:
+            entries = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        for name in entries:
+            if name.endswith(".pkl") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.cache_dir, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def cached_run(exp_id: str, cache_dir: Optional[str] = None,
+               refresh: bool = False):
+    """Run one exhibit through the cache.
+
+    Returns ``(result, hit)``. ``refresh`` skips the read (but still
+    stores), for runs that must actually execute — e.g. ``--report``.
+    """
+    from ..experiments import run
+    cache = ResultCache(cache_dir)
+    if not refresh:
+        hit = cache.load(exp_id)
+        if hit is not None:
+            return hit, True
+    result = run(exp_id)
+    cache.store(exp_id, result)
+    return result, False

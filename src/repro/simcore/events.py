@@ -12,10 +12,25 @@ Events move through three states:
   scheduled on the simulator's agenda.
 * *processed* — the simulator has popped the event and run its callbacks.
 
-Callbacks added after processing are scheduled on a zero-delay trampoline
-event so that late subscribers still observe the result. This makes
-``yield some_event`` safe regardless of ordering, which keeps model code
-simple.
+Callbacks added after processing are scheduled as a zero-delay *direct
+call* on the agenda so that late subscribers still observe the result.
+This makes ``yield some_event`` safe regardless of ordering, which keeps
+model code simple.
+
+Hot-path notes
+--------------
+The agenda holds ``(when, seq, call, event)`` entries.  ``call`` is
+``None`` for ordinary events (the simulator drains ``event.callbacks``);
+otherwise it is a plain callable invoked as ``call(event)`` with no
+Event object behind it.  Direct calls carry the resume of a freshly
+started :class:`Process` (eliminating the per-process bootstrap Event
+allocation), late ``add_callback`` subscribers (eliminating the
+trampoline Event), and interrupts.
+
+Wait-target bookkeeping is *lazy*: a process never removes its
+``_resume`` callback from an abandoned wait target (an O(n) list scan);
+instead stale wake-ups are recognized in O(1) when the old target fires,
+by comparing it against the process's current target.
 """
 
 from __future__ import annotations
@@ -60,6 +75,33 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _Init:
+    """Singleton payload delivered to a process's very first resume."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_INIT = _Init()
+
+
+class _Interrupted:
+    """Payload delivering an :class:`Interrupt` into a process.
+
+    Unlike ordinary wake-ups, interrupts are always delivered (the
+    stale-target check in :meth:`Process._resume` lets them through),
+    mirroring the eager-removal semantics the lazy bookkeeping replaced.
+    """
+
+    __slots__ = ("_value", "_defused")
+    _ok = False
+
+    def __init__(self, exception: Interrupt):
+        self._value = exception
+        self._defused = True
+
+
 class Event:
     """A one-shot occurrence at a point in simulated time."""
 
@@ -100,7 +142,7 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Set the event's value and schedule it after ``delay``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -109,7 +151,7 @@ class Event:
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Fail the event with ``exception`` and schedule it."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -127,11 +169,7 @@ class Event:
         if self.callbacks is not None:
             self.callbacks.append(callback)
         else:
-            trampoline = Event(self.sim)
-            trampoline.callbacks.append(lambda _ev: callback(self))
-            trampoline._ok = True
-            trampoline._value = None
-            self.sim._schedule(trampoline, 0.0)
+            self.sim._schedule_call(callback, self)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         """Remove a previously registered callback if still pending."""
@@ -186,11 +224,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        bootstrap = Event(sim)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        sim._schedule(bootstrap, 0.0)
+        sim._schedule_call(self._resume, _INIT)
 
     @property
     def is_alive(self) -> bool:
@@ -198,26 +232,33 @@ class Process(Event):
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the generator at the current time."""
+        """Throw :class:`Interrupt` into the generator at the current time.
+
+        A wait target that already triggered (but was not yet processed)
+        is suppressed: clearing ``_target`` makes its wake-up stale, so
+        the interrupt is the next thing the generator observes.
+        """
         if self.triggered:
             return
-        if self._target is not None:
-            self._target.remove_callback(self._resume)
-            self._target = None
-        poke = Event(self.sim)
-        poke.callbacks.append(self._resume)
-        poke._ok = False
-        poke._value = Interrupt(cause)
-        poke._defused = True
-        self.sim._schedule(poke, 0.0)
+        self._target = None
+        self.sim._schedule_call(self._resume, _Interrupted(Interrupt(cause)))
 
-    def _resume(self, event: Event) -> None:
-        if self.triggered:
+    def _resume(self, event) -> None:
+        if self._value is not PENDING:
             # The process already ended (e.g. an interrupt raced with a
             # pending wait target); ignore stale wake-ups.
             return
-        if self._target is not None and self._target is not event:
-            self._target.remove_callback(self._resume)
+        target = self._target
+        if target is not event:
+            cls = event.__class__
+            if cls is _Interrupted:
+                pass  # interrupts are always delivered
+            elif cls is _Init and target is None:
+                pass  # the bootstrap resume
+            else:
+                # A lazily-abandoned wait target fired; its callback was
+                # never removed (O(1) bookkeeping) — drop it here.
+                return
         self._target = None
         try:
             if event._ok:
@@ -237,7 +278,11 @@ class Process(Event):
                 f"process {self.name!r} yielded non-event {target!r}"))
             return
         self._target = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is not None:
+            callbacks.append(self._resume)
+        else:
+            self.sim._schedule_call(self._resume, target)
 
 
 class AllOf(Event):

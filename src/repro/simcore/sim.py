@@ -3,6 +3,19 @@
 :class:`Simulator` owns the clock, the event heap, and a seeded random
 number generator, so that every experiment in this repository is
 deterministic given its seed.
+
+The agenda holds ``(when, seq, call, event)`` tuples. ``seq`` is a
+strictly increasing tie-breaker, so heap ordering never compares the
+last two fields. ``call is None`` marks an ordinary event whose
+``callbacks`` the loop drains; otherwise the entry is a *direct call*
+(``call(event)``) — the allocation-free path used for process
+bootstraps, late callbacks, and interrupts (see ``events.py``).
+
+``run()`` inlines the event loop rather than calling :meth:`step` per
+event: the loop is the hottest code in the repository and the per-event
+method call, attribute reloads, and profiler check measurably cap
+events/sec. :meth:`step` remains the single-event API (and the only
+path when a profiler is attached).
 """
 
 from __future__ import annotations
@@ -36,6 +49,9 @@ class Simulator:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._heap: list = []
+        #: Total agenda entries ever scheduled — also the heap
+        #: tie-breaker. ``benchmarks/bench_runtime.py`` reads this as
+        #: the processed-event count after a run drains the agenda.
         self._sequence = 0
         #: Opt-in step profiler (repro.obs): ``None`` unless profiling
         #: was enabled via ``repro.obs.enable_profiling()`` when this
@@ -47,7 +63,16 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past: delay={delay}")
         self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        heapq.heappush(self._heap,
+                       (self.now + delay, self._sequence, None, event))
+
+    def _schedule_call(self, call, event: Any, delay: float = 0.0) -> None:
+        """Schedule ``call(event)`` — no Event allocated, nothing drained."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay}")
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self.now + delay, self._sequence, call, event))
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -55,8 +80,26 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """An event that fires ``delay`` time units from now.
+
+        Fast path: builds the (pre-triggered) Timeout and pushes it in
+        one go, skipping the two-level ``__init__`` chain and the
+        redundant delay validation in :meth:`_schedule` — timeouts are
+        by far the most-scheduled event type.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        timeout = Timeout.__new__(Timeout)
+        timeout.sim = self
+        timeout.callbacks = []
+        timeout._value = value
+        timeout._ok = True
+        timeout._defused = False
+        timeout.delay = delay
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self.now + delay, self._sequence, None, timeout))
+        return timeout
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a process driving ``generator`` at the current time."""
@@ -72,10 +115,17 @@ class Simulator:
 
     # -- execution -----------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event on the agenda."""
+        """Process the single next entry on the agenda."""
         if not self._heap:
             raise EmptySchedule()
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, call, event = heapq.heappop(self._heap)
+        if call is not None:
+            if self.profiler is not None:
+                self.profiler.record_call(self, when, call, event)
+            else:
+                self.now = when
+                call(event)
+            return
         if self.profiler is not None:
             self.profiler.record_step(self, when, event)
         else:
@@ -95,10 +145,28 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                break
-            self.step()
+        heap = self._heap
+        if self.profiler is not None:
+            # Profiled path: per-event step() so attribution stays in
+            # one place; the loop overhead is noise next to the timers.
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                self.step()
+        else:
+            limit = float("inf") if until is None else until
+            pop = heapq.heappop
+            while heap and heap[0][0] <= limit:
+                when, _seq, call, event = pop(heap)
+                self.now = when
+                if call is not None:
+                    call(event)
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         if until is not None:
             self.now = until
 

@@ -1,0 +1,14 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.runtime import cache as runtime_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test directory so tests
+    never read or write the developer's ``.repro-cache/`` — runs stay
+    hermetic regardless of cache state."""
+    monkeypatch.setattr(runtime_cache, "DEFAULT_CACHE_DIR",
+                        str(tmp_path / "result-cache"))

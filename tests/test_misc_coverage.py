@@ -128,7 +128,7 @@ class TestExperimentsCli:
         assert "fig11" in output
 
     def test_runs_one_exhibit(self, capsys):
-        assert experiments_cli(["prog", "fig26"]) == 0
+        assert experiments_cli(["prog", "fig26", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "fig26" in output
         assert "regenerated" in output

@@ -1,0 +1,162 @@
+"""Tests for ``repro.runtime``: sweep determinism, the result cache,
+and the exhibit CLI."""
+
+import pickle
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run
+from repro.experiments.__main__ import main as cli_main
+from repro.runtime import (
+    ResultCache,
+    RunSpec,
+    SweepExecutor,
+    cached_run,
+    exhibit_fingerprint,
+    module_closure,
+    run_exhibit,
+    sweep_imap,
+    sweep_map,
+    use_executor,
+)
+
+
+def _square(point):
+    return point * point
+
+
+class TestSweepExecutor:
+    def test_serial_map_preserves_order(self):
+        assert sweep_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_serial_imap_is_lazy(self):
+        calls = []
+
+        def probe(point):
+            calls.append(point)
+            return point
+
+        iterator = sweep_imap(probe, [1, 2, 3])
+        assert next(iterator) == 1
+        assert calls == [1]  # points past the cursor not yet computed
+
+    def test_parallel_map_matches_serial(self):
+        points = list(range(20))
+        with SweepExecutor(jobs=4) as executor:
+            assert executor.map(_square, points) == [
+                p * p for p in points]
+
+    def test_use_executor_scopes_ambient(self):
+        with use_executor(jobs=4):
+            assert sweep_map(_square, [2, 3]) == [4, 9]
+        # back to serial outside the context
+        assert sweep_map(_square, [2]) == [4]
+
+    def test_jobs_zero_means_all_cores(self):
+        executor = SweepExecutor(jobs=0)
+        assert executor.jobs >= 1
+        executor.close()
+
+
+class TestDeterminism:
+    def test_fig2_identical_serial_vs_parallel(self):
+        with use_executor(jobs=1):
+            serial = run("fig2")
+        with use_executor(jobs=4):
+            parallel = run("fig2")
+        assert serial == parallel
+        assert serial.formatted() == parallel.formatted()
+
+    def test_fig17_seed_sweep_identical_and_picklable(self):
+        from repro.experiments.cloud_ops import fig17_scaling_cdf
+
+        kwargs = dict(reuse_events=6, new_events=2, seeds=[37, 38])
+        serial = fig17_scaling_cdf(**kwargs)
+        with use_executor(jobs=2):
+            parallel = fig17_scaling_cdf(**kwargs)
+        assert serial == parallel
+        pickle.loads(pickle.dumps(parallel))
+
+
+class TestResultCache:
+    def test_miss_then_hit_equal(self, tmp_path):
+        first, hit1 = cached_run("fig17", cache_dir=str(tmp_path))
+        second, hit2 = cached_run("fig17", cache_dir=str(tmp_path))
+        assert (hit1, hit2) == (False, True)
+        assert first == second
+        assert first.formatted() == second.formatted()
+
+    def test_refresh_recomputes_but_stores(self, tmp_path):
+        cached_run("fig17", cache_dir=str(tmp_path))
+        result, hit = cached_run("fig17", cache_dir=str(tmp_path),
+                                 refresh=True)
+        assert not hit
+        _again, hit_again = cached_run("fig17", cache_dir=str(tmp_path))
+        assert hit_again
+
+    def test_fingerprint_distinct_per_exhibit(self):
+        assert exhibit_fingerprint("fig2") != exhibit_fingerprint("fig17")
+
+    def test_fingerprint_stable_and_extra_sensitive(self):
+        assert exhibit_fingerprint("fig2") == exhibit_fingerprint("fig2")
+        assert exhibit_fingerprint("fig2") != exhibit_fingerprint(
+            "fig2", extra="x")
+
+    def test_closure_includes_own_and_simcore_modules(self):
+        closure = module_closure("repro.experiments.cloud_ops")
+        assert "repro.experiments.cloud_ops" in closure
+        assert "repro.simcore.sim" in closure
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cached_run("fig17", cache_dir=str(tmp_path))
+        for entry in tmp_path.iterdir():
+            entry.write_bytes(b"not a pickle")
+        assert cache.load("fig17") is None
+
+    def test_run_exhibit_reports_cache_hit(self, tmp_path):
+        spec = RunSpec("fig17", cache_dir=str(tmp_path))
+        cold = run_exhibit(spec)
+        warm = run_exhibit(spec)
+        assert not cold.cache_hit and warm.cache_hit
+        assert cold.result == warm.result
+
+
+class TestCLI:
+    def test_unknown_exhibit_exits_1_and_lists_known(self, capsys):
+        code = cli_main(["prog", "bogus_id"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "bogus_id" in captured.err
+        assert "fig17" in captured.err and "table1" in captured.err
+
+    def test_no_args_lists_exhibits(self, capsys):
+        code = cli_main(["prog"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert all(exp_id in captured.out for exp_id in EXPERIMENTS)
+
+    def test_single_exhibit_with_jobs_and_no_cache(self, capsys):
+        code = cli_main(["prog", "fig17", "--jobs", "2", "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fig17 regenerated" in captured.out
+
+    def test_multi_exhibit_parallel_with_cache(self, tmp_path, capsys):
+        argv = ["prog", "fig17", "table4", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        # request order preserved even under exhibit-level parallelism
+        assert out.index("[fig17 ") < out.index("[table4 ")
+        assert cli_main(argv) == 0
+        assert "fig17 cached" in capsys.readouterr().out
+
+    def test_report_writes_artifacts(self, tmp_path, capsys):
+        report_dir = tmp_path / "report"
+        code = cli_main(["prog", "fig17", "--no-cache",
+                         "--report", str(report_dir)])
+        assert code == 0
+        assert (report_dir / "fig17.report.json").exists()
+        assert (report_dir / "fig17.prom").exists()
+        assert (report_dir / "fig17.trace.json").exists()

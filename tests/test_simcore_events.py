@@ -293,3 +293,73 @@ class TestConditions:
     def test_any_of_requires_events(self, sim):
         with pytest.raises(ValueError):
             AnyOf(sim, [])
+
+
+class TestWaitTargetBookkeeping:
+    """The lazy O(1) stale-wakeup path: abandoned wait targets still
+    fire, but must never resume the process that moved on."""
+
+    def test_double_interrupt_delivers_both(self, sim):
+        causes = []
+
+        def stoic():
+            for _ in range(2):
+                try:
+                    yield sim.timeout(10.0)
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(stoic())
+        process.interrupt("first")
+        process.interrupt("second")
+        sim.run()
+        assert causes == ["first", "second"]
+        assert process.value == "done"
+
+    def test_anyof_loser_wakeup_is_stale(self, sim):
+        trace = []
+
+        def racer():
+            winner, value = yield AnyOf(
+                sim, [sim.timeout(1.0, value="fast"),
+                      sim.timeout(5.0, value="slow")])
+            trace.append(("won", value, sim.now))
+            yield sim.timeout(10.0)
+            trace.append(("slept", sim.now))
+
+        sim.process(racer())
+        sim.run()
+        # The losing 5.0 timeout fires at t=5 while the racer waits on
+        # the 10.0 sleep; a non-stale delivery would cut the sleep short.
+        assert trace == [("won", "fast", 1.0), ("slept", 11.0)]
+
+    def test_interrupt_after_wait_target_triggered(self, sim):
+        """Interrupt lands between the wait target triggering and its
+        callbacks draining: the interrupt wins, the wake-up goes stale."""
+        log = []
+        gate = sim.event()
+
+        def sleeper():
+            try:
+                yield gate
+                log.append("woke")
+            except Interrupt:
+                log.append("interrupted")
+            yield sim.timeout(1.0)
+            log.append("done")
+
+        process = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            # `gate` is now triggered but its drain is still queued
+            # behind this turn; the interrupt must still suppress it.
+            gate.succeed("opened")
+            process.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert log == ["interrupted", "done"]
+        assert sim.now == 2.0
