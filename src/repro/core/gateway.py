@@ -129,7 +129,7 @@ class MeshGateway:
             backend.install_service(service.service_id)
         self.service_backends[service.service_id] = list(backends)
         self._rebuild_lbs(service.service_id)
-        for az in {backend.az for backend in backends}:
+        for az in sorted({backend.az for backend in backends}):
             self.dns.register(self._dns_name(service.service_id),
                               address=f"vip-{service.service_id}-{az}", az=az)
         return backends
@@ -140,7 +140,7 @@ class MeshGateway:
     def _rebuild_lbs(self, service_id: int) -> None:
         """(Re)build the per-AZ disaggregated LBs over current replicas."""
         backends = self.service_backends[service_id]
-        for az in {backend.az for backend in backends}:
+        for az in sorted({backend.az for backend in backends}):
             replicas = [r for backend in backends if backend.az == az
                         for r in backend.replicas]
             self.service_lbs[(service_id, az)] = DisaggregatedLB(

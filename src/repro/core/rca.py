@@ -110,6 +110,7 @@ class RootCauseAnalyzer:
         for backend in hot_backends[1:]:
             common &= backend.configured_services
         if len(common) == 1:
+            # simlint: ignore[DET003] singleton set — one possible order
             return RcaResult(service_id=next(iter(common)),
                              method="intersection", confidence=0.9)
         return RcaResult(service_id=None, method="intersection")

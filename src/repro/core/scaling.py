@@ -86,7 +86,7 @@ class ScalingEngine:
         service_backends = self.gateway.service_backends.get(service_id, ())
         service_azs = {b.az for b in service_backends}
         candidates = [
-            b for az in service_azs
+            b for az in sorted(service_azs)
             for b in self.gateway.backends_by_az.get(az, ())
             if b.is_healthy and not b.hosts_service(service_id)
             and b.water_level() < self.reuse_water_threshold

@@ -125,7 +125,7 @@ def fig16_noisy_neighbor(seed: int = 31, duration_s: int = 90,
     hot_backend = max(gateway.all_backends,
                       key=lambda b: len(b.configured_services))
     noisy_id = next(iter(hot_backend.top_services(1)))
-    peers_on_backend = [sid for sid in hot_backend.configured_services
+    peers_on_backend = [sid for sid in sorted(hot_backend.configured_services)
                         if sid != noisy_id]
 
     # Size the surge so the backend peaks around 80 % water. Water is

@@ -1,0 +1,135 @@
+"""``python -m repro.lint`` — the simlint command line.
+
+Exit codes: 0 clean (or every finding baselined), 1 findings, 2 usage
+error. ``--format json`` emits a machine-readable report (CI uploads it
+as an artifact); ``--output`` additionally writes the report to a file
+so the exit code still gates the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .framework import Finding, all_rules
+from .runner import (
+    collect_files,
+    lint_files,
+    load_baseline,
+    select_rules,
+    split_baselined,
+    write_baseline,
+)
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: determinism & sim-safety static analysis.")
+    parser.add_argument("paths", nargs="*", metavar="path",
+                        help="files or directories to lint "
+                             "(default: src and tests if present)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="also write the report to FILE")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="accepted-findings file; matching findings "
+                             "don't fail the run")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--select", metavar="RULE,...", default=None,
+                        help="only run these rule ids")
+    parser.add_argument("--ignore", metavar="RULE,...", default=None,
+                        help="skip these rule ids")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _split_ids(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _default_paths() -> List[str]:
+    import os
+    paths = [p for p in ("src", "tests") if os.path.isdir(p)]
+    return paths or ["."]
+
+
+def _render_json(findings: List[Finding], baselined: List[Finding],
+                 files: int) -> str:
+    by_rule: dict = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    report = {
+        "version": 1,
+        "tool": "simlint",
+        "summary": {"files": files, "findings": len(findings),
+                    "baselined": len(baselined), "by_rule": by_rule},
+        "findings": [f.to_dict() for f in findings],
+        "baselined": [f.to_dict() for f in baselined],
+    }
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def _render_text(findings: List[Finding], baselined: List[Finding],
+                 files: int) -> str:
+    lines = [finding.format_text() for finding in findings]
+    summary = (f"simlint: {len(findings)} finding(s) in {files} file(s)")
+    if baselined:
+        summary += f" ({len(baselined)} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        options = _parser().parse_args(argv)
+    except SystemExit as exit_:  # argparse --help (0) or usage error (2)
+        return 0 if exit_.code == 0 else 2
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<10} {rule.severity:<8} {rule.summary}")
+        return 0
+
+    try:
+        rules = select_rules(_split_ids(options.select),
+                             _split_ids(options.ignore))
+        files = collect_files(options.paths or _default_paths())
+    except (KeyError, FileNotFoundError) as exc:
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
+
+    findings = lint_files(files, rules=rules)
+
+    if options.write_baseline:
+        write_baseline(options.write_baseline, findings)
+        print(f"simlint: wrote {len(findings)} finding(s) to "
+              f"{options.write_baseline}")
+        return 0
+
+    baselined: List[Finding] = []
+    if options.baseline:
+        try:
+            baseline = load_baseline(options.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"simlint: bad baseline {options.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        findings, baselined = split_baselined(findings, baseline)
+
+    renderer = _render_json if options.format == "json" else _render_text
+    report = renderer(findings, baselined, len(files))
+    print(report)
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 1 if findings else 0

@@ -26,24 +26,32 @@ parallel exhibit workers can share a cache directory.
 
 from __future__ import annotations
 
-import ast
 import hashlib
 import os
 import pickle
 import sys
 import tempfile
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+import warnings
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lint.astutil import (
+    dynamic_import_lines,
+    iter_module_files,
+    module_imports,
+    parse_file,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "cached_run",
+    "closure_dynamic_imports",
     "exhibit_fingerprint",
     "module_closure",
 ]
 
 #: Bump when the pickle payload or key recipe changes shape.
-_CACHE_FORMAT = 1
+_CACHE_FORMAT = 2
 
 #: Default cache location; overridable per call or via the environment.
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -56,88 +64,40 @@ def _package_root() -> str:
     return os.path.dirname(os.path.abspath(repro.__file__))
 
 
-def _iter_module_files(root: str) -> Iterable[Tuple[str, str]]:
-    """Yield (module name, file path) for every .py under ``repro``."""
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            rel = os.path.relpath(path, os.path.dirname(root))
-            parts = rel[:-3].split(os.sep)
-            if parts[-1] == "__init__":
-                parts = parts[:-1]
-            yield ".".join(parts), path
+_graph_cache: Optional[Tuple[Dict[str, str], Dict[str, Set[str]],
+                             Dict[str, List[int]]]] = None
 
 
-def _imports_of(module: str, path: str, known: Set[str]) -> Set[str]:
-    """Intra-``repro`` modules ``module`` imports, statically."""
-    with open(path, "rb") as handle:
-        source = handle.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError:  # pragma: no cover - repo code always parses
-        return set()
-    package_parts = module.split(".")
-    if not path.endswith("__init__.py"):
-        package_parts = package_parts[:-1]
-    found: Set[str] = set()
-
-    def resolve(name: str) -> None:
-        # Longest known prefix: "repro.core.replica.ReplicaConfig" and
-        # "repro.core" both land on real modules.
-        parts = name.split(".")
-        while parts:
-            candidate = ".".join(parts)
-            if candidate in known:
-                found.add(candidate)
-                return
-            parts = parts[:-1]
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                resolve(alias.name)
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                base = package_parts[:len(package_parts) - node.level + 1]
-                prefix = ".".join(base)
-            else:
-                prefix = ""
-            stem = node.module or ""
-            base_name = ".".join(p for p in (prefix, stem) if p)
-            if base_name:
-                resolve(base_name)
-            for alias in node.names:
-                if base_name:
-                    resolve(f"{base_name}.{alias.name}")
-                elif node.level == 0:
-                    resolve(alias.name)
-    found.discard(module)
-    return found
-
-
-_graph_cache: Optional[Tuple[Dict[str, str], Dict[str, Set[str]]]] = None
-
-
-def _module_graph() -> Tuple[Dict[str, str], Dict[str, Set[str]]]:
-    """(module -> file path, module -> imported repro modules), memoized."""
+def _module_graph() -> Tuple[Dict[str, str], Dict[str, Set[str]],
+                             Dict[str, List[int]]]:
+    """(module -> file, module -> imports, module -> dynamic-import
+    lines), memoized. The AST walking lives in :mod:`repro.lint.astutil`
+    (shared with the simlint analyzer)."""
     global _graph_cache
     if _graph_cache is None:
-        files = dict(_iter_module_files(_package_root()))
+        files = dict(iter_module_files(_package_root()))
         known = set(files)
-        graph = {module: _imports_of(module, path, known)
-                 for module, path in files.items()}
+        graph: Dict[str, Set[str]] = {}
+        dynamic: Dict[str, List[int]] = {}
+        for module, path in files.items():
+            _source, tree = parse_file(path)
+            if tree is None:  # pragma: no cover - repo code always parses
+                graph[module] = set()
+                continue
+            graph[module] = module_imports(
+                tree, module, path.endswith("__init__.py"), known)
+            lines = dynamic_import_lines(tree)
+            if lines:
+                dynamic[module] = lines
         # A package module stands for its __init__; importing it sees
         # everything the __init__ re-exports (already in its edges).
-        _graph_cache = (files, graph)
+        _graph_cache = (files, graph, dynamic)
     return _graph_cache
 
 
 def module_closure(module: str) -> List[str]:
     """``module`` plus every repro module it transitively imports."""
-    files, graph = _module_graph()
+    files, graph, _dynamic = _module_graph()
     if module not in files:
         raise KeyError(f"unknown repro module {module!r}")
     seen: Set[str] = set()
@@ -155,13 +115,26 @@ def module_closure(module: str) -> List[str]:
     return sorted(seen)
 
 
+def closure_dynamic_imports(module: str) -> Dict[str, List[int]]:
+    """Dynamic imports reachable from ``module``'s import closure.
+
+    Maps each offending module in the closure to the line numbers of its
+    ``importlib``/``__import__`` usage. A non-empty result means the
+    static closure under-approximates the exhibit's real dependencies,
+    so its fingerprint — and any cache entry keyed on it — is unsound
+    (simlint rule CACHE001 flags the same sites at lint time).
+    """
+    _files, _graph, dynamic = _module_graph()
+    return {m: dynamic[m] for m in module_closure(module) if m in dynamic}
+
+
 _source_hashes: Dict[str, str] = {}
 
 
 def _source_hash(module: str) -> str:
     digest = _source_hashes.get(module)
     if digest is None:
-        files, _graph = _module_graph()
+        files, _graph, _dynamic = _module_graph()
         with open(files[module], "rb") as handle:
             digest = hashlib.sha256(handle.read()).hexdigest()
         _source_hashes[module] = digest
@@ -240,7 +213,7 @@ class ResultCache:
         """Delete every entry; returns the number removed."""
         removed = 0
         try:
-            entries = os.listdir(self.cache_dir)
+            entries = sorted(os.listdir(self.cache_dir))
         except OSError:
             return 0
         for name in entries:
@@ -259,8 +232,22 @@ def cached_run(exp_id: str, cache_dir: Optional[str] = None,
 
     Returns ``(result, hit)``. ``refresh`` skips the read (but still
     stores), for runs that must actually execute — e.g. ``--report``.
+
+    Exhibits whose import closure contains dynamic imports (CACHE001)
+    bypass the cache entirely: the fingerprint cannot see what they
+    load, so an entry could go stale without its key changing.
     """
-    from ..experiments import run
+    from ..experiments import EXPERIMENTS, run
+    dynamic = closure_dynamic_imports(EXPERIMENTS[exp_id].__module__)
+    if dynamic:
+        sites = "; ".join(
+            f"{module}:{','.join(map(str, lines))}"
+            for module, lines in sorted(dynamic.items()))
+        warnings.warn(
+            f"result cache disabled for {exp_id!r}: dynamic imports in "
+            f"its import closure make the cache key unsound ({sites})",
+            RuntimeWarning, stacklevel=2)
+        return run(exp_id), False
     cache = ResultCache(cache_dir)
     if not refresh:
         hit = cache.load(exp_id)

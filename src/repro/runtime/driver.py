@@ -48,6 +48,7 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
     only written, never read. Without one, the cache may satisfy the
     run outright.
     """
+    # simlint: ignore[DET001] CLI wall-clock metadata, not a sim input
     started = time.perf_counter()
     if spec.report_dir is None:
         if spec.use_cache:
@@ -56,6 +57,7 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
             from ..experiments import run
             result, hit = run(spec.exp_id), False
         return ExhibitRun(spec.exp_id, result,
+                          # simlint: ignore[DET001] CLI wall-clock metadata
                           time.perf_counter() - started, cache_hit=hit)
 
     from ..obs import (
@@ -80,7 +82,7 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
     finally:
         disable_profiling()
         set_telemetry(previous)
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # simlint: ignore[DET001] CLI timing
     profilers = take_profilers()
     paths = write_run_artifacts(
         spec.report_dir, spec.exp_id, result=result, telemetry=telemetry,

@@ -1,0 +1,7 @@
+"""Intentional simlint violations, one module per rule.
+
+Each fixture pairs a positive case (the rule must fire, on a known
+line) with a negative case (suppressed or structurally fine). The
+directory is excluded from recursive lint walks — fixtures are only
+linted when named explicitly (see tests/test_lint.py).
+"""

@@ -1,0 +1,21 @@
+"""CACHE001 fixture: dynamic imports in an experiments module.
+
+The rule keys on the *module name* (``repro.experiments.*``), so the
+test lints this file with an explicit module override.
+"""
+
+import importlib  # positive: line 7
+
+
+def bad_dynamic_load(name):
+    return importlib.import_module(name)
+
+
+def bad_dunder_import(name):
+    return __import__(name)  # positive: line 15
+
+
+def fine_static_use():
+    # simlint: ignore[CACHE001] negative: justified
+    from importlib import metadata
+    return metadata

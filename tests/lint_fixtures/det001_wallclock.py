@@ -1,0 +1,25 @@
+"""DET001 fixture: wall-clock reads."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def bad_direct():
+    return time.time()  # positive: line 9
+
+
+def bad_from_import():
+    return perf_counter()  # positive: line 13
+
+
+def bad_datetime():
+    return datetime.now()  # positive: line 17
+
+
+def suppressed():
+    return time.monotonic()  # simlint: ignore[DET001] negative: justified
+
+
+def fine_sim_time(sim):
+    return sim.now  # negative: simulated clock is the point

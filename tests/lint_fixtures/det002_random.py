@@ -1,0 +1,28 @@
+"""DET002 fixture: module-level / unseeded randomness."""
+
+import random
+from random import Random
+
+
+def bad_module_level():
+    return random.randint(0, 10)  # positive: line 8
+
+
+def bad_unseeded():
+    return random.Random()  # positive: line 12
+
+
+def bad_from_import_unseeded():
+    return Random()  # positive: line 16
+
+
+def bad_system_random():
+    return random.SystemRandom()  # positive: line 20
+
+
+def fine_seeded(seed):
+    return random.Random(seed)  # negative: seeded
+
+
+def suppressed():
+    return random.random()  # simlint: ignore[DET002] negative: justified

@@ -1,0 +1,46 @@
+"""DET003 fixture: unordered iteration."""
+
+import os
+from typing import Set
+
+
+class Holder:
+    def __init__(self):
+        self.members: Set[str] = set()
+
+
+def bad_for_over_set(items):
+    total = []
+    for item in set(items):  # positive: line 14
+        total.append(item)
+    return total
+
+
+def bad_comprehension(holder):
+    return [m for m in holder.members]  # positive: line 20 (annotated attr)
+
+
+def bad_popitem(table):
+    return table.popitem()  # positive: line 24
+
+
+def bad_listdir(path):
+    return list(os.listdir(path))  # positive: line 28
+
+
+def bad_local_set_name(items):
+    pending = {item for item in items}
+    return [item for item in pending]  # positive: line 33
+
+
+def fine_sorted(items):
+    return [item for item in sorted(set(items))]  # negative: sorted
+
+
+def fine_listdir_sorted(path):
+    return sorted(os.listdir(path))  # negative: sorted wrapper
+
+
+def suppressed(items):
+    for item in set(items):  # simlint: ignore[DET003] negative: justified
+        return item

@@ -1,0 +1,32 @@
+"""PICKLE001 fixture: unpicklable sweep targets."""
+
+
+def _module_level_point(spec):
+    return spec * 2
+
+
+def bad_lambda(sweep_map, specs):
+    return sweep_map(lambda s: s * 2, specs)  # positive: line 9
+
+
+def bad_nested(sweep_map, specs, factor):
+    def point(spec):
+        return spec * factor
+
+    return sweep_map(point, specs)  # positive: line 16
+
+
+class Engine:
+    def point(self, spec):
+        return spec
+
+    def bad_bound_method(self, sweep_imap, specs):
+        return sweep_imap(self.point, specs)  # positive: line 24
+
+    def suppressed(self, sweep_map, specs):
+        # simlint: ignore[PICKLE001] negative: serial-only helper
+        return sweep_map(self.point, specs)
+
+
+def fine_module_level(sweep_map, specs):
+    return sweep_map(_module_level_point, specs)  # negative: picklable

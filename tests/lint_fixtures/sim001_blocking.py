@@ -1,0 +1,31 @@
+"""SIM001 fixture: sim-process generators that block or never yield."""
+
+import time
+
+
+def bad_sleeping_process(sim, delay):
+    time.sleep(delay)  # positive: line 7
+    yield sim.timeout(delay)
+
+
+def bad_returns_before_yield(sim, value):
+    return value * 2  # positive: line 12 — yields below are unreachable
+    yield sim.timeout(1.0)
+
+
+def fine_conditional_return(sim, fast_path, value):
+    if fast_path:
+        return value  # negative: Process delivers StopIteration values
+    yield sim.timeout(1.0)
+    return value * 2
+
+
+def fine_plain_generator(items):
+    for item in items:
+        time.sleep(0)  # negative: not a sim process (no sim yields)
+        yield item
+
+
+def suppressed_process(sim, delay):
+    time.sleep(delay)  # simlint: ignore[SIM001] negative: justified
+    yield sim.timeout(delay)

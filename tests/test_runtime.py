@@ -36,6 +36,7 @@ class TestSweepExecutor:
             calls.append(point)
             return point
 
+        # simlint: ignore[PICKLE001] serial executor — probe never pickled
         iterator = sweep_imap(probe, [1, 2, 3])
         assert next(iterator) == 1
         assert calls == [1]  # points past the cursor not yet computed
