@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Serve quickstart: the harness as a service, end to end.
+
+Boots ``python -m repro.serve`` as a subprocess on an ephemeral port,
+then drives the full client-side story:
+
+1. submit an exhibit job over HTTP and stream its SSE progress events;
+2. poll it to completion and print the headline findings;
+3. resubmit the same spec and watch the result-cache fast path answer
+   it instantly (``cache_hit`` straight in the POST response);
+4. scrape ``/metrics`` (Prometheus text from ``repro.obs``);
+5. send SIGTERM and verify the server drains gracefully and exits 0.
+
+This is also CI's ``serve-smoke`` scenario — the script exits non-zero
+if any step misbehaves.
+
+Run:  python examples/serve_quickstart.py [exhibit_id]
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+
+def wait_for_port(port_file: str, process: subprocess.Popen,
+                  timeout_s: float = 60.0) -> int:
+    # simlint: ignore[DET001] subprocess boot wait, not simulation time
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:  # simlint: ignore[DET001] boot wait
+        if os.path.exists(port_file):
+            with open(port_file) as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited early with code {process.returncode}")
+        time.sleep(0.1)
+    raise RuntimeError("server never wrote its port file")
+
+
+def main() -> int:
+    exhibit = sys.argv[1] if len(sys.argv) > 1 else "fig17"
+    workdir = os.environ.get("SERVE_QUICKSTART_WORKDIR")  # CI uploads it
+    if workdir:
+        os.makedirs(workdir, exist_ok=True)
+    else:
+        workdir = tempfile.mkdtemp(prefix="serve-quickstart-")
+    port_file = os.path.join(workdir, "port")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--port-file", port_file, "--workers", "2",
+         "--cache-dir", os.path.join(workdir, "cache"),
+         "--artifacts-dir", os.path.join(workdir, "artifacts")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        text=True)
+    try:
+        port = wait_for_port(port_file, server)
+        client = ServeClient("127.0.0.1", port)
+        print(f"server up on port {port}; health: {client.health()}")
+
+        print(f"\n-- submitting {exhibit} and streaming events " + "-" * 20)
+        job = client.submit({"kind": "exhibit", "exhibit": exhibit,
+                             "report": True})
+        print(f"accepted as {job['id']} (state={job['state']})")
+        for event in client.events(job["id"]):
+            print(f"  [{event['name']}] {event['data']}")
+        done = client.wait(job["id"], timeout=300)
+        assert done["state"] == "done", f"job failed: {done['error']}"
+        for run in done["result"]:
+            print(f"finished {run['exp_id']} in {run['elapsed_s']:.2f}s; "
+                  f"findings: {run['findings']}")
+        report_path = done["artifacts"][f"{exhibit}.report"]
+        report = client.artifact(report_path)
+        assert report, "report artifact came back empty"
+        print(f"artifacts: {sorted(done['artifacts'])} "
+              f"({report_path}: {len(report)} bytes)")
+
+        print("\n-- resubmitting: cache fast path " + "-" * 28)
+        again = client.submit({"kind": "exhibit", "exhibit": exhibit})
+        assert again["cache_hit"], "expected a cache-hit fast path"
+        print(f"{again['id']} answered from cache at admission "
+              f"(state={again['state']}, attempts={again['attempts']})")
+
+        print("\n-- /metrics " + "-" * 49)
+        metrics = client.metrics()
+        for needle in ("serve_queue_depth", "serve_jobs_running",
+                       "serve_jobs_total", "serve_job_wall_seconds"):
+            assert needle in metrics, f"missing {needle} in /metrics"
+        wanted = ("serve_queue_depth", "serve_jobs_total",
+                  "serve_jobs_running")
+        for line in metrics.splitlines():
+            if line.startswith(wanted):
+                print(f"  {line}")
+
+        print("\n-- SIGTERM: graceful drain " + "-" * 34)
+        server.send_signal(signal.SIGTERM)
+        output, _ = server.communicate(timeout=120)
+        assert server.returncode == 0, \
+            f"server exited {server.returncode}, expected 0"
+        assert "drain complete" in output, "no drain-complete line"
+        print(output.strip())
+        print("\nclean drain, exit 0 — all good")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

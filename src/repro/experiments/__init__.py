@@ -99,6 +99,16 @@ EXPERIMENTS.update(CASES_EXPERIMENTS)
 EXPERIMENTS.update(SENSITIVITY)
 
 
+def exhibit_ids() -> List[str]:
+    """The sorted catalog of known exhibit ids.
+
+    One listing shared by the CLI (``--list``), job-spec validation in
+    ``repro.serve``, and error messages — so every surface agrees on
+    what exists.
+    """
+    return sorted(EXPERIMENTS)
+
+
 def run(exp_id: str) -> ExperimentResult:
     """Run one experiment by its exhibit ID."""
     if exp_id not in EXPERIMENTS:
@@ -122,6 +132,7 @@ __all__ = [
     "Table",
     "build_production_gateway",
     "build_testbed",
+    "exhibit_ids",
     "find_knee_rps",
     "light_load_latency",
     "run",

@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro.experiments                    # list exhibits
+    python -m repro.experiments                    # usage + exhibit ids
+    python -m repro.experiments --list             # sorted ids, one per line
     python -m repro.experiments fig11              # run one and print it
     python -m repro.experiments all                # run everything
     python -m repro.experiments all --jobs 0       # ... on every core
@@ -40,7 +41,7 @@ import argparse
 import sys
 
 from ..runtime import RunSpec, SweepExecutor, run_exhibit, use_executor
-from . import EXPERIMENTS
+from . import EXPERIMENTS, exhibit_ids
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -49,6 +50,8 @@ def _parser() -> argparse.ArgumentParser:
         description="Regenerate paper exhibits.")
     parser.add_argument("targets", nargs="*", metavar="exhibit",
                         help="exhibit ids to run, or 'all'")
+    parser.add_argument("--list", action="store_true", dest="list_exhibits",
+                        help="print the sorted known exhibit ids and exit")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (0 = all cores; default 1)")
     parser.add_argument("--no-cache", action="store_true",
@@ -76,6 +79,10 @@ def main(argv) -> int:
         options = _parser().parse_args(argv[1:])
     except SystemExit as exit_:  # argparse error (2) or --help (0)
         return 0 if exit_.code == 0 else 1
+    if options.list_exhibits:
+        for exp_id in exhibit_ids():
+            print(exp_id)
+        return 0
     if not options.targets:
         _parser().print_usage()
         print("exhibits:", " ".join(EXPERIMENTS))

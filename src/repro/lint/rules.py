@@ -68,8 +68,11 @@ class WallClockRule(Rule):
     fix_hint = ("use sim.now for model time; wall-clock timing belongs in "
                 "repro.obs, or suppress with a reason")
 
-    #: Modules whose whole point is measuring wall time.
-    default_allowlist: Tuple[str, ...] = ("repro.obs",)
+    #: Modules whose whole point is measuring wall time: the
+    #: observability layer, and the service layer (queue deadlines,
+    #: Retry-After arithmetic, and job wall-clock accounting all live
+    #: in real time, outside any simulation).
+    default_allowlist: Tuple[str, ...] = ("repro.obs", "repro.serve")
 
     _CALLS = frozenset({
         "time.time", "time.time_ns",

@@ -23,6 +23,7 @@ from .cache import (
 from .driver import ExhibitRun, RunSpec, run_exhibit
 from .sweep import (
     SweepExecutor,
+    SweepPointError,
     default_jobs,
     get_executor,
     set_executor,
@@ -37,6 +38,7 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "SweepExecutor",
+    "SweepPointError",
     "cached_run",
     "default_jobs",
     "exhibit_fingerprint",

@@ -1,0 +1,54 @@
+"""Simulation-as-a-service: the repro harness as a long-running server.
+
+``repro.serve`` turns one-shot CLI runs into submittable, queueable,
+observable *jobs*. The shape mirrors any production serving stack —
+which is the point: the paper's §4 is about operating a shared
+multi-tenant serving layer safely, and this package applies the same
+queue/backpressure/drain discipline to our own harness:
+
+* :mod:`.jobs` — job specs (JSON in, validated), the lifecycle state
+  machine (``queued → running → done|failed``), and the thread-safe
+  :class:`JobStore` with its append-only per-job event log;
+* :mod:`.scheduler` — priority admission with **dedupe** against
+  identical in-flight jobs, a **cache fast path** that answers
+  cache-warm work without occupying a worker, **bounded-queue
+  backpressure** (429 + Retry-After), per-attempt **timeouts**,
+  bounded **retries on worker death**, and **graceful drain**;
+* :mod:`.runner` — the forked worker body (reuses
+  ``repro.runtime.run_exhibit`` / ``sweep_imap``), streaming progress
+  + per-job-scoped ``repro.obs`` telemetry over a pipe;
+* :mod:`.api` — stdlib asyncio HTTP/1.1: ``POST /jobs``,
+  ``GET /jobs/{id}``, SSE at ``GET /jobs/{id}/events``,
+  ``GET /artifacts/...``, ``GET /healthz``, ``GET /metrics``
+  (Prometheus text via ``repro.obs.export``);
+* :mod:`.metrics` — queue depth, running/completed/failed counters,
+  per-job wall time;
+* :mod:`.client` — the small blocking client tests, examples, and CI
+  drive the server with.
+
+Boot it with ``python -m repro.serve`` (see :mod:`.__main__`).
+"""
+
+from .api import ServeAPI, background_server, start_server
+from .client import ServeClient, ServeError, ServerBusy
+from .jobs import Job, JobEvent, JobSpec, JobSpecError, JobStore
+from .metrics import ServeMetrics
+from .scheduler import DrainingError, QueueFullError, Scheduler
+
+__all__ = [
+    "DrainingError",
+    "Job",
+    "JobEvent",
+    "JobSpec",
+    "JobSpecError",
+    "JobStore",
+    "QueueFullError",
+    "Scheduler",
+    "ServeAPI",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServerBusy",
+    "background_server",
+    "start_server",
+]

@@ -1,0 +1,344 @@
+"""Asyncio HTTP API for ``repro.serve`` — stdlib only, HTTP/1.1.
+
+Routes::
+
+    POST /jobs                submit a job spec (JSON body)
+    GET  /jobs                list jobs (submission order)
+    GET  /jobs/{id}           one job's state/result/artifact index
+    GET  /jobs/{id}/events    live progress as Server-Sent Events
+    GET  /artifacts/{id}/{f}  a run artifact written by a report job
+    GET  /healthz             liveness + drain state + job counts
+    GET  /metrics             Prometheus text (repro.obs exporter)
+
+Status mapping: invalid spec → 400; unknown job/artifact → 404; queue
+full → **429 with Retry-After**; draining → **503 with Retry-After**.
+Submissions answer 201 for newly queued work and 200 when coalesced
+with an in-flight duplicate or satisfied from the result cache (the
+body carries ``deduped``/``cache_hit`` flags either way).
+
+The server is deliberately minimal: one request per connection
+(``Connection: close``), no TLS, no auth — it fronts a local research
+harness, not the internet. Handlers run on the event loop's default
+thread-pool executor because scheduler admission and store reads take
+*threading* locks; the SSE path alternates executor waits on the store
+condition with async writes so one slow consumer never blocks the
+loop or other streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from .jobs import JobSpecError, JobStore
+from .metrics import ServeMetrics
+from .scheduler import DrainingError, QueueFullError, Scheduler
+
+__all__ = ["ServeAPI", "background_server"]
+
+_MAX_BODY_BYTES = 1 << 20
+_JSON = "application/json"
+
+_ARTIFACT_TYPES = {
+    ".json": _JSON,
+    ".prom": "text/plain; version=0.0.4",
+}
+
+
+class _HTTPError(Exception):
+    """Routing-level failure carrying its response."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+def _response_bytes(status: int, body: bytes, content_type: str,
+                    extra: Optional[Dict[str, str]] = None) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for name, value in sorted((extra or {}).items()):
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, payload: object,
+                   extra: Optional[Dict[str, str]] = None) -> bytes:
+    body = json.dumps(payload, default=str).encode("utf-8")
+    return _response_bytes(status, body, _JSON, extra)
+
+
+class ServeAPI:
+    """Route table + handlers bound to one scheduler/store/metrics set."""
+
+    def __init__(self, scheduler: Scheduler, store: JobStore,
+                 metrics: Optional[ServeMetrics] = None):
+        self.scheduler = scheduler
+        self.store = store
+        self.metrics = metrics if metrics is not None else scheduler.metrics
+
+    # -- connection handler --------------------------------------------------
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        route = "unparsed"
+        method = "?"
+        status = 500
+        try:
+            request = await asyncio.wait_for(
+                self._read_request(reader), timeout=30.0)
+            if request is None:
+                return
+            method, path, headers, body = request
+            route, response = await self._route(
+                method, path, headers, body, writer)
+            if response is not None:  # SSE writes its own stream
+                status = int(response.split(b" ", 2)[1].decode("ascii"))
+                writer.write(response)
+                await writer.drain()
+            else:
+                status = 200
+        except _HTTPError as error:
+            status = error.status
+            writer.write(_json_response(
+                error.status, {"error": error.message}, error.headers))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            status = 499  # client went away mid-request/stream
+        except Exception as exc:  # pragma: no cover - handler bug guard
+            try:
+                writer.write(_json_response(500, {"error": repr(exc)}))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self.metrics.http_request(method, route, status)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = \
+                request_line.decode("ascii").split(None, 2)
+        except ValueError:
+            raise _HTTPError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise _HTTPError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    # -- routing -------------------------------------------------------------
+    async def _route(self, method: str, path: str, headers: Dict[str, str],
+                     body: bytes, writer: asyncio.StreamWriter
+                     ) -> Tuple[str, Optional[bytes]]:
+        """Dispatch; returns (route label, response bytes or None for SSE)."""
+        loop = asyncio.get_running_loop()
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz":
+            self._expect(method, "GET", path)
+            return "/healthz", await loop.run_in_executor(
+                None, self._health)
+        if path == "/metrics":
+            self._expect(method, "GET", path)
+            return "/metrics", await loop.run_in_executor(
+                None, lambda: _response_bytes(
+                    200, self.metrics.render().encode("utf-8"),
+                    "text/plain; version=0.0.4"))
+        if path == "/jobs":
+            if method == "POST":
+                return "/jobs", await loop.run_in_executor(
+                    None, self._submit, body)
+            self._expect(method, "GET", path)
+            return "/jobs", await loop.run_in_executor(None, self._jobs)
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._expect(method, "GET", path)
+            return "/jobs/{id}", await loop.run_in_executor(
+                None, self._job, parts[1])
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            self._expect(method, "GET", path)
+            await self._stream_events(parts[1], headers, writer)
+            return "/jobs/{id}/events", None
+        if parts and parts[0] == "artifacts":
+            self._expect(method, "GET", path)
+            return "/artifacts", await loop.run_in_executor(
+                None, self._artifact, parts[1:])
+        raise _HTTPError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _expect(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _HTTPError(405, f"{method} not allowed on {path}")
+
+    # -- sync handlers (run on the executor) ---------------------------------
+    def _health(self) -> bytes:
+        counts = self.store.counts()
+        state = "draining" if self.scheduler.draining else "serving"
+        return _json_response(200, {
+            "status": "ok", "state": state,
+            "queued": self.scheduler.queued(),
+            "running": self.scheduler.running(),
+            "jobs": counts,
+        })
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}")
+        from .jobs import JobSpec
+        try:
+            spec = JobSpec.from_payload(payload)
+            job, info = self.scheduler.submit(spec)
+        except JobSpecError as exc:
+            raise _HTTPError(400, str(exc))
+        except QueueFullError as exc:
+            raise _HTTPError(429, str(exc), {
+                "Retry-After": f"{max(1, round(exc.retry_after_s))}"})
+        except DrainingError as exc:
+            raise _HTTPError(503, str(exc), {
+                "Retry-After": f"{max(1, round(exc.retry_after_s))}"})
+        response = job.to_json()
+        response.update(info)
+        status = 200 if (info["deduped"] or info["cache_hit"]) else 201
+        return _json_response(status, response)
+
+    def _jobs(self) -> bytes:
+        return _json_response(200, {
+            "jobs": [job.to_json() for job in self.store.jobs()]})
+
+    def _job(self, job_id: str) -> bytes:
+        job = self.store.get(job_id)
+        if job is None:
+            raise _HTTPError(404, f"unknown job {job_id!r}")
+        return _json_response(200, job.to_json())
+
+    def _artifact(self, parts) -> bytes:
+        root = os.path.realpath(self.scheduler.artifacts_root())
+        candidate = os.path.realpath(os.path.join(root, *parts))
+        if candidate != root and not candidate.startswith(root + os.sep):
+            raise _HTTPError(404, "artifact path escapes the artifact root")
+        if not os.path.isfile(candidate):
+            raise _HTTPError(404, f"no artifact at {'/'.join(parts)!r}")
+        with open(candidate, "rb") as handle:
+            blob = handle.read()
+        content_type = _ARTIFACT_TYPES.get(
+            os.path.splitext(candidate)[1], "application/octet-stream")
+        return _response_bytes(200, blob, content_type)
+
+    # -- SSE -----------------------------------------------------------------
+    async def _stream_events(self, job_id: str, headers: Dict[str, str],
+                             writer: asyncio.StreamWriter) -> None:
+        if self.store.get(job_id) is None:
+            raise _HTTPError(404, f"unknown job {job_id!r}")
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n")
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        cursor = 0
+        last_seen = headers.get("last-event-id")
+        if last_seen is not None and last_seen.isdigit():
+            cursor = int(last_seen) + 1
+        while True:
+            events, terminal = await loop.run_in_executor(
+                None, self.store.wait_events, job_id, cursor, 0.5)
+            for event in events:
+                frame = (f"id: {event.seq}\n"
+                         f"event: {event.name}\n"
+                         f"data: {json.dumps(event.to_json(), default=str)}"
+                         f"\n\n")
+                writer.write(frame.encode("utf-8"))
+                cursor = event.seq + 1
+            if events:
+                await writer.drain()
+                self.metrics.sse_events(len(events))
+            if terminal and not events:
+                return  # log fully replayed and the job is finished
+
+
+# -- embedding helpers -------------------------------------------------------
+
+async def start_server(api: ServeAPI, host: str = "127.0.0.1",
+                       port: int = 0) -> Tuple[asyncio.AbstractServer, int]:
+    """Bind + start serving; returns ``(server, bound_port)``."""
+    server = await asyncio.start_server(api.handle, host=host, port=port)
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, bound_port
+
+
+@contextmanager
+def background_server(api: ServeAPI, host: str = "127.0.0.1",
+                      port: int = 0) -> Iterator[Tuple[str, int]]:
+    """Run the API on an event loop in a daemon thread (tests/examples).
+
+    Yields ``(host, bound_port)``; tears the loop down on exit. The
+    scheduler's threads are the caller's to start/stop — this only owns
+    the HTTP side.
+    """
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    state: Dict[str, object] = {}
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _boot() -> None:
+            server, bound_port = await start_server(api, host, port)
+            state["server"] = server
+            state["port"] = bound_port
+            started.set()
+
+        loop.run_until_complete(_boot())
+        loop.run_forever()
+        # Drain-close inside the loop thread after run_forever stops.
+        server = state.get("server")
+        if server is not None:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+        loop.close()
+
+    thread = threading.Thread(target=_run, daemon=True,
+                              name="serve-http-loop")
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("HTTP server failed to start within 10s")
+    try:
+        yield host, int(state["port"])
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)

@@ -1,0 +1,175 @@
+"""Small blocking client for the ``repro.serve`` HTTP API.
+
+Used by the test suite, the CI smoke job, and
+``examples/serve_quickstart.py`` — and handy interactively::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("127.0.0.1", 8731)
+    job = client.submit({"kind": "exhibit", "exhibit": "fig11"})
+    job = client.wait(job["id"], timeout=120)
+    print(job["state"], job["result"][0]["findings"])
+    for event in client.events(job["id"]):   # replays the event log
+        print(event["name"], event["data"])
+
+One ``http.client`` connection per call (the server closes after each
+response anyway); :meth:`events` holds its own connection open for the
+life of the SSE stream. Backpressure surfaces as :class:`ServerBusy`
+with the server's ``Retry-After`` parsed out, so callers can implement
+honest retry loops.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ServeClient", "ServeError", "ServerBusy"]
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServerBusy(ServeError):
+    """429 (queue full) or 503 (draining) — retry after a delay."""
+
+    def __init__(self, status: int, message: str, retry_after_s: float):
+        super().__init__(status, message)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Blocking HTTP client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[object] = None):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            blob = response.read()
+            return response, blob
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str,
+              payload: Optional[object] = None) -> Dict[str, object]:
+        response, blob = self._request(method, path, payload)
+        decoded = self._decode(blob)
+        if response.status >= 400:
+            self._raise(response, decoded)
+        return decoded
+
+    @staticmethod
+    def _decode(blob: bytes) -> Dict[str, object]:
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {"error": blob.decode("utf-8", "replace")}
+
+    @staticmethod
+    def _raise(response, decoded: Dict[str, object]) -> None:
+        message = str(decoded.get("error", "request failed"))
+        if response.status in (429, 503):
+            retry_after = response.getheader("Retry-After", "1")
+            try:
+                delay = float(retry_after)
+            except ValueError:
+                delay = 1.0
+            raise ServerBusy(response.status, message, delay)
+        raise ServeError(response.status, message)
+
+    # -- API surface ---------------------------------------------------------
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        """POST /jobs; returns the job JSON (with ``deduped``/
+        ``cache_hit`` flags). Raises :class:`ServerBusy` on 429/503."""
+        return self._json("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        response, blob = self._request("GET", "/metrics")
+        if response.status >= 400:
+            self._raise(response, self._decode(blob))
+        return blob.decode("utf-8")
+
+    def artifact(self, path: str) -> bytes:
+        """Fetch one artifact by its job-relative URL path
+        (``/artifacts/<job>/<file>`` as listed in the job JSON)."""
+        response, blob = self._request("GET", path)
+        if response.status >= 400:
+            self._raise(response, self._decode(blob))
+        return blob
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll until the job is terminal; returns its final JSON."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s")
+            time.sleep(poll_s)
+
+    def events(self, job_id: str,
+               last_event_id: Optional[int] = None
+               ) -> Iterator[Dict[str, object]]:
+        """Stream the job's SSE events until the server ends the stream.
+
+        Yields decoded event dicts (``seq``/``name``/``unix``/``data``).
+        For a finished job this replays the full event log and returns.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            headers = {}
+            if last_event_id is not None:
+                headers["Last-Event-ID"] = str(last_event_id)
+            connection.request("GET", f"/jobs/{job_id}/events",
+                               headers=headers)
+            response = connection.getresponse()
+            if response.status >= 400:
+                self._raise(response, self._decode(response.read()))
+            data_lines: List[str] = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    break  # server closed the stream
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].strip())
+                elif not line and data_lines:
+                    yield json.loads("\n".join(data_lines))
+                    data_lines = []
+        finally:
+            connection.close()

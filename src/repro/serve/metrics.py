@@ -1,0 +1,96 @@
+"""Server-side metrics for ``repro.serve``, on the ``repro.obs`` model.
+
+One always-enabled :class:`~repro.obs.telemetry.Telemetry` registry,
+owned by the server (not the ambient one — job workers get their own
+per-process registries), rendered by the existing Prometheus text
+exporter at ``GET /metrics``. Families:
+
+* ``serve_queue_depth`` (gauge) — jobs waiting for a worker;
+* ``serve_jobs_running`` (gauge) — jobs currently on a worker;
+* ``serve_jobs_total{outcome,kind}`` (counter) — terminal accounting:
+  ``submitted``, ``done``, ``failed``, ``rejected`` (backpressure),
+  ``drain_rejected``, ``deduped``, ``cache_hit``;
+* ``serve_job_wall_seconds{kind}`` (histogram) — queue-to-terminal
+  wall time per job;
+* ``serve_retries_total`` (counter) — attempts restarted after worker
+  death;
+* ``serve_http_requests_total{method,route,status}`` (counter) — one
+  per handled request, labeled by route *pattern* (bounded
+  cardinality, never the raw path);
+* ``serve_sse_events_total`` (counter) — SSE frames written.
+
+All mutators and the renderer share one lock: scheduler worker threads
+and the HTTP thread pool hit this registry concurrently, and rendering
+must not race a family dict insert.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs import Telemetry
+from ..obs.export import prometheus_text
+
+__all__ = ["ServeMetrics"]
+
+#: Wall-time buckets for whole jobs (seconds) — wider than the default
+#: request-latency buckets; sweep jobs legitimately run minutes.
+_JOB_WALL_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0,
+                     300.0, 1800.0)
+
+
+class ServeMetrics:
+    """Thread-safe facade over the server's telemetry registry."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.telemetry = Telemetry(enabled=True)
+        # Touch the headline gauges so /metrics shows them from boot.
+        self.set_queue_depth(0)
+        self.set_running(0)
+
+    # -- gauges --------------------------------------------------------------
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.telemetry.set("serve_queue_depth", depth)
+
+    def set_running(self, running: int) -> None:
+        with self._lock:
+            self.telemetry.set("serve_jobs_running", running)
+
+    # -- job accounting ------------------------------------------------------
+    def job_outcome(self, outcome: str, kind: str = "") -> None:
+        with self._lock:
+            self.telemetry.inc("serve_jobs_total", outcome=outcome,
+                               kind=kind or "none")
+
+    def job_wall_time(self, kind: str, wall_s: float) -> None:
+        with self._lock:
+            self.telemetry.observe("serve_job_wall_seconds", wall_s,
+                                   buckets=_JOB_WALL_BUCKETS, kind=kind)
+
+    def job_retried(self) -> None:
+        with self._lock:
+            self.telemetry.inc("serve_retries_total")
+
+    # -- HTTP accounting -----------------------------------------------------
+    def http_request(self, method: str, route: str, status: int) -> None:
+        with self._lock:
+            self.telemetry.inc("serve_http_requests_total", method=method,
+                               route=route, status=str(status))
+
+    def sse_events(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.telemetry.inc("serve_sse_events_total", amount=count)
+
+    # -- export --------------------------------------------------------------
+    def render(self) -> str:
+        """Prometheus text exposition (shares the mutators' lock)."""
+        with self._lock:
+            return prometheus_text(self.telemetry)
+
+    def value(self, name: str, **labels) -> float:
+        """Test/diagnostic read-through to the registry."""
+        with self._lock:
+            return self.telemetry.value(name, **labels)

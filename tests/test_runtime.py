@@ -1,16 +1,18 @@
 """Tests for ``repro.runtime``: sweep determinism, the result cache,
 and the exhibit CLI."""
 
+import multiprocessing
 import pickle
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, run
+from repro.experiments import EXPERIMENTS, exhibit_ids, run
 from repro.experiments.__main__ import main as cli_main
 from repro.runtime import (
     ResultCache,
     RunSpec,
     SweepExecutor,
+    SweepPointError,
     cached_run,
     exhibit_fingerprint,
     module_closure,
@@ -23,6 +25,21 @@ from repro.runtime import (
 
 def _square(point):
     return point * point
+
+
+def _explode_on_37(point):
+    if point == 37:
+        raise ValueError("boom")
+    return point
+
+
+def _concurrent_cache_writer(cache_dir, results):
+    """Child-process body for the concurrent-writer race test."""
+    try:
+        result, hit = cached_run("fig17", cache_dir=cache_dir)
+        results.put(("ok", result.exp_id, hit))
+    except BaseException as exc:  # report, never hang the parent
+        results.put(("error", repr(exc), None))
 
 
 class TestSweepExecutor:
@@ -57,6 +74,22 @@ class TestSweepExecutor:
         executor = SweepExecutor(jobs=0)
         assert executor.jobs >= 1
         executor.close()
+
+    def test_worker_exception_carries_point_repr(self):
+        points = list(range(30, 45))
+        with SweepExecutor(jobs=2) as executor:
+            with pytest.raises(SweepPointError) as excinfo:
+                executor.map(_explode_on_37, points)
+        message = str(excinfo.value)
+        # The failing point's index, repr, and original error all travel.
+        assert "37" in message
+        assert "_explode_on_37" in message
+        assert "ValueError('boom')" in message
+
+    def test_worker_exception_wrapper_is_transparent_on_success(self):
+        points = list(range(20))
+        with SweepExecutor(jobs=2) as executor:
+            assert executor.map(_square, points) == [p * p for p in points]
 
 
 class TestDeterminism:
@@ -122,6 +155,36 @@ class TestResultCache:
         assert not cold.cache_hit and warm.cache_hit
         assert cold.result == warm.result
 
+    def test_concurrent_writers_one_valid_entry(self, tmp_path):
+        """Two processes caching the same key must both succeed via the
+        atomic tmp+rename path and leave exactly one valid entry."""
+        cache_dir = str(tmp_path / "shared")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        results = context.SimpleQueue()
+        writers = [
+            context.Process(target=_concurrent_cache_writer,
+                            args=(cache_dir, results))
+            for _index in range(2)]
+        for writer in writers:
+            writer.start()
+        outcomes = [results.get() for _writer in writers]
+        for writer in writers:
+            writer.join(timeout=60)
+        assert [w.exitcode for w in writers] == [0, 0]
+        # Both writers succeed — whichever order the tmp+rename races
+        # resolved in — and both return the same exhibit.
+        assert sorted(outcome[0] for outcome in outcomes) == ["ok", "ok"]
+        assert all(outcome[1] == "fig17" for outcome in outcomes)
+        entries = sorted(p.name for p in (tmp_path / "shared").iterdir())
+        assert len([e for e in entries if e.endswith(".pkl")]) == 1
+        assert not [e for e in entries if e.endswith(".tmp")]
+        # The surviving entry is valid and loadable.
+        cached = ResultCache(cache_dir).load("fig17")
+        assert cached is not None and cached.exp_id == "fig17"
+
 
 class TestCLI:
     def test_unknown_exhibit_exits_1_and_lists_known(self, capsys):
@@ -136,6 +199,14 @@ class TestCLI:
         captured = capsys.readouterr()
         assert code == 1
         assert all(exp_id in captured.out for exp_id in EXPERIMENTS)
+
+    def test_list_prints_sorted_ids_and_exits_0(self, capsys):
+        code = cli_main(["prog", "--list"])
+        captured = capsys.readouterr()
+        assert code == 0
+        listed = captured.out.split()
+        assert listed == sorted(EXPERIMENTS)
+        assert listed == exhibit_ids()  # the listing serve validates with
 
     def test_single_exhibit_with_jobs_and_no_cache(self, capsys):
         code = cli_main(["prog", "fig17", "--jobs", "2", "--no-cache"])

@@ -1,0 +1,335 @@
+"""Tests for ``repro.serve``: the full job lifecycle over real HTTP.
+
+Every test here drives a real asyncio server on an ephemeral port via
+the blocking ``repro.serve.client`` — the same path CI's smoke job and
+the examples use. Failure-path tests (worker death, timeouts) use
+probe jobs, a test-only job kind the server must opt into with
+``allow_probes``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.runtime import cached_run
+from repro.serve import (
+    JobSpec,
+    JobSpecError,
+    JobStore,
+    Scheduler,
+    ServeAPI,
+    ServeClient,
+    ServeError,
+    ServeMetrics,
+    ServerBusy,
+    background_server,
+)
+
+
+class _Server:
+    """One live server + client, torn down with its scheduler."""
+
+    def __init__(self, tmp_path, **scheduler_kwargs):
+        scheduler_kwargs.setdefault("workers", 1)
+        scheduler_kwargs.setdefault("queue_depth", 4)
+        scheduler_kwargs.setdefault("default_timeout_s", 60.0)
+        scheduler_kwargs.setdefault("allow_probes", True)
+        scheduler_kwargs.setdefault("cache_dir",
+                                    str(tmp_path / "serve-cache"))
+        scheduler_kwargs.setdefault("artifacts_root",
+                                    str(tmp_path / "artifacts"))
+        self.store = JobStore()
+        self.metrics = ServeMetrics()
+        self.scheduler = Scheduler(self.store, self.metrics,
+                                   **scheduler_kwargs)
+        self.scheduler.start()
+        self._ctx = background_server(
+            ServeAPI(self.scheduler, self.store, self.metrics))
+        host, port = self._ctx.__enter__()
+        self.client = ServeClient(host, port)
+
+    def close(self):
+        self._ctx.__exit__(None, None, None)
+        self.scheduler.stop(force=True)
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = _Server(tmp_path)
+    yield handle
+    handle.close()
+
+
+def _sleep_spec(seconds, **extra):
+    spec = {"kind": "probe", "probe": "sleep", "probe_arg": seconds}
+    spec.update(extra)
+    return spec
+
+
+def _wait_for_state(client, job_id, state, timeout=10.0):
+    deadline = time.monotonic()  # simlint: ignore[DET001] test sequencing
+    deadline += timeout
+    while True:
+        job = client.job(job_id)
+        if job["state"] == state:
+            return job
+        if job["state"] in ("done", "failed"):
+            raise AssertionError(
+                f"job {job_id} reached {job['state']!r} before {state!r}")
+        # simlint: ignore[DET001] test sequencing
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"job {job_id} never reached {state!r}")
+        time.sleep(0.02)
+
+
+class TestJobSpec:
+    def test_exhibit_spec_roundtrip(self):
+        spec = JobSpec.from_payload({"kind": "exhibit", "exhibit": "fig17",
+                                     "priority": 3})
+        assert spec.exhibits == ("fig17",)
+        assert spec.priority == 3
+
+    def test_unknown_exhibit_lists_catalog(self):
+        with pytest.raises(JobSpecError) as excinfo:
+            JobSpec.from_payload({"kind": "exhibit", "exhibit": "bogus"})
+        assert "bogus" in str(excinfo.value)
+        assert "fig17" in str(excinfo.value)  # shares the --list catalog
+
+    def test_unknown_field_and_kind_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_payload({"kind": "exhibit", "exhibit": "fig17",
+                                  "bogus_field": 1})
+        with pytest.raises(JobSpecError):
+            JobSpec.from_payload({"kind": "banana"})
+
+    def test_dedupe_key_ignores_priority(self):
+        low = JobSpec.from_payload({"kind": "exhibit", "exhibit": "fig17"})
+        high = JobSpec.from_payload({"kind": "exhibit", "exhibit": "fig17",
+                                     "priority": 9})
+        assert low.dedupe_key() == high.dedupe_key()
+
+
+class TestLifecycle:
+    def test_submit_to_done_with_artifacts(self, server):
+        job = server.client.submit({"kind": "exhibit", "exhibit": "fig17",
+                                    "report": True})
+        assert job["state"] in ("queued", "running")
+        done = server.client.wait(job["id"], timeout=120)
+        assert done["state"] == "done"
+        assert done["attempts"] == 1
+        assert done["result"][0]["exp_id"] == "fig17"
+        # report jobs must write + index artifacts
+        assert "fig17.report" in done["artifacts"]
+        report = json.loads(server.client.artifact(
+            done["artifacts"]["fig17.report"]))
+        assert report["result"]["exp_id"] == "fig17"
+        # full event log replayed over SSE, in lifecycle order
+        names = [e["name"] for e in server.client.events(job["id"])]
+        assert names[0] == "queued"
+        assert "started" in names
+        assert names[-1] == "done"
+        assert names.index("queued") < names.index("started") \
+            < names.index("done")
+
+    def test_job_listing_and_unknown_job_404(self, server):
+        job = server.client.submit(_sleep_spec(0.01))
+        server.client.wait(job["id"], timeout=30)
+        listed = [j["id"] for j in server.client.jobs()]
+        assert job["id"] in listed
+        with pytest.raises(ServeError) as excinfo:
+            server.client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_cache_hit_fast_path(self, server, tmp_path):
+        # Warm the cache out-of-band, as a prior run would have.
+        cached_run("fig17", cache_dir=str(tmp_path / "serve-cache"))
+        job = server.client.submit({"kind": "exhibit", "exhibit": "fig17"})
+        # Satisfied at admission: already terminal in the POST response.
+        assert job["cache_hit"] is True
+        assert job["state"] == "done"
+        assert job["attempts"] == 0  # never occupied a worker
+        assert job["result"][0]["cache_hit"] is True
+        assert server.metrics.value("serve_jobs_total", outcome="cache_hit",
+                                    kind="exhibit") == 1
+
+    def test_sweep_streams_progress_per_point(self, server):
+        job = server.client.submit({
+            "kind": "sweep", "exhibits": ["fig17", "fig3"],
+            "use_cache": False})
+        events = list(server.client.events(job["id"]))
+        progress = [e for e in events if e["name"] == "progress"]
+        assert [p["data"]["completed"] for p in progress] == [1, 2]
+        assert progress[0]["data"]["total"] == 2
+        # per-job-scoped telemetry snapshot travels with progress
+        assert "telemetry" in progress[0]["data"]
+        done = server.client.wait(job["id"], timeout=120)
+        assert [r["exp_id"] for r in done["result"]] == ["fig17", "fig3"]
+
+    def test_dedupe_coalesces_inflight(self, server):
+        first = server.client.submit(_sleep_spec(0.5))
+        second = server.client.submit(_sleep_spec(0.5))
+        assert second["deduped"] is True
+        assert second["id"] == first["id"]
+        third = server.client.submit(_sleep_spec(0.5, dedupe=False))
+        assert third["id"] != first["id"]
+        server.client.wait(first["id"], timeout=30)
+        server.client.wait(third["id"], timeout=30)
+
+    def test_priority_orders_queued_jobs(self, server):
+        # Worker busy; then queue low before high priority.
+        busy = server.client.submit(_sleep_spec(0.4))
+        _wait_for_state(server.client, busy["id"], "running")
+        low = server.client.submit(_sleep_spec(0.05, priority=0,
+                                               dedupe=False))
+        high = server.client.submit(_sleep_spec(0.05, priority=5,
+                                                dedupe=False))
+        done_low = server.client.wait(low["id"], timeout=30)
+        done_high = server.client.wait(high["id"], timeout=30)
+        server.client.wait(busy["id"], timeout=30)
+        assert done_high["started_unix"] < done_low["started_unix"]
+
+
+class TestRobustness:
+    def test_backpressure_429_with_retry_after(self, tmp_path):
+        server = _Server(tmp_path, workers=1, queue_depth=1)
+        try:
+            busy = server.client.submit(_sleep_spec(1.0, dedupe=False))
+            # Only once the worker holds the first job does the second
+            # occupy the queue's single slot.
+            _wait_for_state(server.client, busy["id"], "running")
+            server.client.submit(_sleep_spec(1.0, dedupe=False))
+            with pytest.raises(ServerBusy) as excinfo:
+                server.client.submit(_sleep_spec(1.0, dedupe=False))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s >= 1.0
+            assert server.metrics.value("serve_jobs_total",
+                                        outcome="rejected",
+                                        kind="probe") == 1
+        finally:
+            server.close()
+
+    def test_retry_then_fail_on_crashing_worker(self, tmp_path):
+        server = _Server(tmp_path, max_retries=1)
+        try:
+            job = server.client.submit({"kind": "probe", "probe": "crash"})
+            done = server.client.wait(job["id"], timeout=60)
+            assert done["state"] == "failed"
+            assert done["attempts"] == 2  # first try + one retry
+            assert "worker died" in done["error"]
+            names = [e["name"] for e in server.client.events(job["id"])]
+            assert names.count("started") == 2
+            assert "retry" in names
+            assert names[-1] == "failed"
+            assert server.metrics.value("serve_retries_total") == 1
+        finally:
+            server.close()
+
+    def test_job_exception_fails_without_retry(self, server):
+        job = server.client.submit({"kind": "probe", "probe": "fail"})
+        done = server.client.wait(job["id"], timeout=60)
+        assert done["state"] == "failed"
+        assert done["attempts"] == 1  # deterministic failure: no retry
+        assert "RuntimeError" in done["error"]
+
+    def test_per_job_timeout_kills_attempt(self, server):
+        job = server.client.submit(_sleep_spec(30.0, timeout_s=0.3))
+        done = server.client.wait(job["id"], timeout=60)
+        assert done["state"] == "failed"
+        assert "timed out" in done["error"]
+
+    def test_probes_rejected_unless_enabled(self, tmp_path):
+        server = _Server(tmp_path, allow_probes=False)
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                server.client.submit({"kind": "probe", "probe": "ok"})
+            assert excinfo.value.status == 400
+        finally:
+            server.close()
+
+    def test_graceful_drain_finishes_inflight(self, server):
+        job = server.client.submit(_sleep_spec(0.5))
+        _wait_for_state(server.client, job["id"], "running")
+        server.scheduler.begin_drain()
+        # New work is refused while draining...
+        with pytest.raises(ServerBusy) as excinfo:
+            server.client.submit(_sleep_spec(0.1, dedupe=False))
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after_s > 0
+        assert server.client.health()["state"] == "draining"
+        # ...and drain blocks until the in-flight job finished cleanly.
+        assert server.scheduler.drain(timeout=30) is True
+        assert server.client.job(job["id"])["state"] == "done"
+
+
+class TestObservability:
+    def test_metrics_expose_queue_and_job_families(self, server):
+        job = server.client.submit(_sleep_spec(0.01))
+        server.client.wait(job["id"], timeout=30)
+        text = server.client.metrics()
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "# TYPE serve_jobs_running gauge" in text
+        assert 'serve_jobs_total{kind="probe",outcome="done"} 1' in text
+        assert "serve_job_wall_seconds_bucket" in text
+        assert "serve_http_requests_total" in text
+
+    def test_healthz_counts_jobs(self, server):
+        job = server.client.submit(_sleep_spec(0.01))
+        server.client.wait(job["id"], timeout=30)
+        health = server.client.health()
+        assert health["status"] == "ok"
+        assert health["state"] == "serving"
+        assert health["jobs"]["done"] == 1
+
+    def test_artifact_traversal_is_blocked(self, server):
+        os.makedirs(server.scheduler.artifacts_root(), exist_ok=True)
+        with pytest.raises(ServeError) as excinfo:
+            server.client.artifact("/artifacts/../../etc/passwd")
+        assert excinfo.value.status == 404
+
+
+class TestServeCLI:
+    def test_boot_submit_sigterm_drain(self, tmp_path):
+        """The CI smoke scenario: ephemeral port, real job, clean drain."""
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        port_file = tmp_path / "port"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0",
+             "--port-file", str(port_file), "--workers", "1",
+             "--cache-dir", str(tmp_path / "cache")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True)
+        try:
+            client = None
+            deadline_attempts = 300  # ~30s of 0.1s polls for slow imports
+            for _attempt in range(deadline_attempts):
+                if port_file.exists() and port_file.read_text():
+                    client = ServeClient("127.0.0.1",
+                                         int(port_file.read_text()))
+                    break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.1)
+            assert client is not None, "server never wrote its port file"
+            job = client.submit({"kind": "exhibit", "exhibit": "fig3"})
+            done = client.wait(job["id"], timeout=60)
+            assert done["state"] == "done"
+            assert "serve_jobs_total" in client.metrics()
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30)
+        assert process.returncode == 0
+        assert "drain complete" in output
+        assert "1 done, 0 failed" in output
