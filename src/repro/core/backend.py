@@ -65,13 +65,13 @@ class Backend:
         return replica
 
     def fail_replica(self, name: str) -> Replica:
-        replica = self._replica_by_name(name)
+        replica = self.replica_by_name(name)
         replica.fail()
         self._redistribute()
         return replica
 
     def recover_replica(self, name: str) -> Replica:
-        replica = self._replica_by_name(name)
+        replica = self.replica_by_name(name)
         replica.recover()
         self._redistribute()
         return replica
@@ -86,7 +86,7 @@ class Backend:
             replica.recover()
         self._redistribute()
 
-    def _replica_by_name(self, name: str) -> Replica:
+    def replica_by_name(self, name: str) -> Replica:
         for replica in self.replicas:
             if replica.name == name:
                 return replica

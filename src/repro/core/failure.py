@@ -9,12 +9,22 @@ The recovery hierarchy under test:
 3. AZ failure → DNS steers to the service's backends in other AZs.
 
 :class:`FailureInjector` drives the scenarios; ``availability_report``
-asserts who is up after each.
+asserts who is up after each. The injector is the execution layer of
+``repro.faults``: :class:`~repro.faults.FaultEngine` compiles a
+declarative :class:`~repro.faults.FaultPlan` down to :meth:`fail` /
+:meth:`recover` calls at exact virtual times, but every method remains
+directly usable by hand-driven experiments.
+
+Injections are *idempotent per open failure*: failing a target that
+already has an open :class:`FailureEvent` returns that event unchanged
+instead of double-counting its disrupted sessions — the bug class a
+fault plan with overlapping scopes (AZ crash + backend crash inside
+it) would otherwise hit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..simcore import Simulator
@@ -46,14 +56,64 @@ class FailureInjector:
         self.gateway = gateway
         self.events: List[FailureEvent] = []
 
+    # -- plan-driven dispatch ------------------------------------------------
+    def fail(self, scope: str, target: str,
+             backend: str = "") -> FailureEvent:
+        """Inject one failure by scope name (the fault-plan entry point)."""
+        if scope == "replica":
+            return self.fail_replica(backend, target)
+        if scope == "backend":
+            return self.fail_backend(target)
+        if scope == "az":
+            return self.fail_az(target)
+        raise ValueError(f"unknown failure scope {scope!r}")
+
+    def recover(self, scope: str, target: str, backend: str = "") -> None:
+        """Recover one failure by scope name (the fault-plan exit point)."""
+        if scope == "replica":
+            self.recover_replica(backend, target)
+        elif scope == "backend":
+            self.recover_backend(target)
+        elif scope == "az":
+            self.recover_az(target)
+        else:
+            raise ValueError(f"unknown failure scope {scope!r}")
+
+    def open_event(self, scope: str, target: str) -> Optional[FailureEvent]:
+        """The not-yet-recovered event for a target, if one exists."""
+        for event in reversed(self.events):
+            if (event.scope == scope and event.target == target
+                    and event.recovered_at is None):
+                return event
+        return None
+
+    def disrupted_by_scope(self) -> Dict[str, int]:
+        """Total sessions disrupted, per failure scope."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.scope] = (totals.get(event.scope, 0)
+                                   + event.sessions_disrupted)
+        return totals
+
     # -- replica level -------------------------------------------------------
-    def fail_replica(self, backend_name: str, replica_name: str) -> FailureEvent:
+    def fail_replica(self, backend_name: str,
+                     replica_name: str) -> FailureEvent:
+        existing = self.open_event("replica", replica_name)
+        if existing is not None:
+            return existing
         backend = self.gateway.backend_by_name(backend_name)
-        replica = backend.fail_replica(replica_name)
+        replica = backend.replica_by_name(replica_name)
+        # Capture before the crash: the replica's session table dies
+        # with the VM.
+        disrupted = replica.sessions_used
+        backend.fail_replica(replica_name)
         event = FailureEvent(scope="replica", target=replica_name,
                              failed_at=self.sim.now,
-                             sessions_disrupted=replica.sessions_used)
-        replica.remove_sessions(replica.sessions_used)
+                             sessions_disrupted=disrupted)
+        # Replica failures bypass the gateway's backend-level failure
+        # API, so DNS health must be re-derived here: losing the last
+        # replica of an AZ's backends must stop the AZ resolving.
+        self.gateway.update_dns_health(backend.az)
         self.gateway.refresh_loads()
         self.events.append(event)
         return event
@@ -61,11 +121,15 @@ class FailureInjector:
     def recover_replica(self, backend_name: str, replica_name: str) -> None:
         backend = self.gateway.backend_by_name(backend_name)
         backend.recover_replica(replica_name)
+        self.gateway.update_dns_health(backend.az)
         self.gateway.refresh_loads()
         self._mark_recovered("replica", replica_name)
 
     # -- backend level ----------------------------------------------------------
     def fail_backend(self, backend_name: str) -> FailureEvent:
+        existing = self.open_event("backend", backend_name)
+        if existing is not None:
+            return existing
         backend = self.gateway.backend_by_name(backend_name)
         disrupted = sum(r.sessions_used for r in backend.replicas)
         self.gateway.fail_backend(backend_name)
@@ -81,6 +145,9 @@ class FailureInjector:
 
     # -- AZ level ------------------------------------------------------------------
     def fail_az(self, az: str) -> FailureEvent:
+        existing = self.open_event("az", az)
+        if existing is not None:
+            return existing
         disrupted = sum(r.sessions_used
                         for b in self.gateway.backends_by_az.get(az, ())
                         for r in b.replicas)
@@ -102,12 +169,15 @@ class FailureInjector:
             events.append(self.fail_backend(backend.name))
         return events
 
+    def recover_service(self, service_id: int) -> None:
+        """Undo a query-of-death: recover every backend of the service."""
+        for backend in list(self.gateway.service_backends.get(service_id, ())):
+            self.recover_backend(backend.name)
+
     def _mark_recovered(self, scope: str, target: str) -> None:
-        for event in reversed(self.events):
-            if (event.scope == scope and event.target == target
-                    and event.recovered_at is None):
-                event.recovered_at = self.sim.now
-                return
+        event = self.open_event(scope, target)
+        if event is not None:
+            event.recovered_at = self.sim.now
 
 
 def availability_report(gateway: MeshGateway) -> Dict[int, bool]:

@@ -284,6 +284,16 @@ class MeshGateway:
         self._update_dns_health(az)
         self.refresh_loads()
 
+    def update_dns_health(self, az: str) -> None:
+        """Re-derive per-service DNS health for one AZ.
+
+        Needed whenever replica health changes *below* the
+        backend-level failure API (e.g. replica-scoped fault
+        injection): an AZ whose last replica dies must stop resolving,
+        and one whose first replica returns must resolve again.
+        """
+        self._update_dns_health(az)
+
     def _update_dns_health(self, az: str) -> None:
         for service_id, backends in self.service_backends.items():
             az_backends = [b for b in backends if b.az == az]

@@ -123,8 +123,15 @@ class Replica:
     def session_utilization(self) -> float:
         return self.sessions_used / self.config.session_capacity
 
-    def fail(self) -> None:
+    def fail(self) -> int:
+        """Take the VM down; its SmartNIC session table dies with it.
+
+        Returns the number of sessions the crash disrupted.
+        """
+        disrupted = self.sessions_used
         self.healthy = False
+        self.sessions_used = 0
+        return disrupted
 
     def recover(self) -> None:
         self.healthy = True

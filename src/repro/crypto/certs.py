@@ -55,11 +55,49 @@ class CertificateAuthority:
 
     def __init__(self, name: str, seed: str = "ca-secret"):
         self.name = name
-        self._secret = hashlib.sha256(f"ca:{name}:{seed}".encode()).digest()
+        self._seed = seed
+        self._generation = 0
+        self._secret = self._derive_secret()
         self._issued: Dict[str, Certificate] = {}
+
+    def _derive_secret(self) -> bytes:
+        material = f"ca:{self.name}:{self._seed}"
+        if self._generation:
+            material += f":gen{self._generation}"
+        return hashlib.sha256(material.encode()).digest()
 
     def _sign(self, payload: bytes) -> str:
         return hmac.new(self._secret, payload, hashlib.sha256).hexdigest()
+
+    @property
+    def generation(self) -> int:
+        """How many times the CA secret has been rotated."""
+        return self._generation
+
+    def rotate_secret(self) -> int:
+        """Rotate to a fresh (deterministically derived) CA secret.
+
+        This is the cert-rotation *failure* fault point: a correct
+        rotation re-issues every outstanding certificate under the new
+        secret, and skipping that step (as this method alone does)
+        leaves every previously issued certificate unverifiable —
+        exactly the production incident class where workloads keep
+        presenting certs signed by a retired key. Returns the new
+        generation number.
+        """
+        self._generation += 1
+        self._secret = self._derive_secret()
+        return self._generation
+
+    def reissue_all(self, not_after: float) -> Dict[str, Certificate]:
+        """Re-issue every outstanding certificate under the current
+        secret (the recovery half of a rotation), valid until
+        ``not_after``. Returns identity → fresh certificate."""
+        reissued: Dict[str, Certificate] = {}
+        for identity in sorted(self._issued):
+            cert = self._issued[identity]
+            reissued[identity] = self.issue(identity, cert.tenant, not_after)
+        return reissued
 
     def issue(self, identity: str, tenant: str,
               not_after: float) -> Certificate:

@@ -40,6 +40,7 @@ from .comparison import (
     fig15_southbound_bandwidth,
 )
 from .deployment_costs import table5_cost_reduction
+from .recovery import fig8_plan, fig8_recovery
 from .health_checks import (
     table6_health_check_excess,
     table7_health_check_reduction,
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig5": fig5_istio_ambient_cpu,
     "table2": table2_update_frequency,
     "table3": table3_l7_adoption,
+    "fig8_recovery": fig8_recovery,
     "fig10": fig10_latency_light_workloads,
     "fig11": fig11_latency_vs_rps,
     "fig12": fig12_crypto_cpu_saving,
@@ -133,6 +135,8 @@ __all__ = [
     "build_production_gateway",
     "build_testbed",
     "exhibit_ids",
+    "fig8_plan",
+    "fig8_recovery",
     "find_knee_rps",
     "light_load_latency",
     "run",

@@ -435,7 +435,11 @@ class DynamicImportRule(Rule):
                 "walker can fingerprint the dependency")
 
     #: Packages whose modules feed the result cache's import closure.
-    default_packages: Tuple[str, ...] = ("repro.experiments",)
+    #: ``repro.faults`` is included because chaos-aware exhibits import
+    #: it — a dynamic import there would hide fault-subsystem changes
+    #: from every chaos exhibit's cache key.
+    default_packages: Tuple[str, ...] = ("repro.experiments",
+                                         "repro.faults")
 
     def __init__(self, packages: Optional[Tuple[str, ...]] = None):
         self.packages = self.default_packages if packages is None \

@@ -159,13 +159,23 @@ def _result_dict(result) -> dict:
 
 
 def run_report(result=None, telemetry=None, profilers: Iterable = (),
-               meta: Optional[dict] = None) -> dict:
-    """The JSON run report: exhibit + metrics + profiler attribution."""
+               meta: Optional[dict] = None,
+               faults: Iterable = ()) -> dict:
+    """The JSON run report: exhibit + metrics + profiler attribution.
+
+    ``faults`` is the merged fault timeline (entries with ``t`` /
+    ``action`` / ``kind`` / ``target`` / ``detail``, as recorded by
+    ``repro.faults.FaultEngine``); it only appears in the report when
+    the run actually injected something.
+    """
     report: dict = {"meta": dict(meta or {})}
     if result is not None:
         report["result"] = _result_dict(result)
     if telemetry is not None:
         report["telemetry"] = telemetry.snapshot()
+    faults = [dict(entry) for entry in faults]
+    if faults:
+        report["faults"] = faults
     report["profilers"] = [
         {"steps": profiler.steps,
          "sim_total_s": profiler.sim_total_s(),
@@ -180,7 +190,8 @@ def run_report(result=None, telemetry=None, profilers: Iterable = (),
 def write_run_artifacts(directory: str, exp_id: str, result=None,
                         telemetry=None, profilers: Iterable = (),
                         traces: Iterable = (),
-                        meta: Optional[dict] = None) -> Dict[str, str]:
+                        meta: Optional[dict] = None,
+                        faults: Iterable = ()) -> Dict[str, str]:
     """Write the three artifacts for one run; returns name -> path."""
     os.makedirs(directory, exist_ok=True)
     profilers = list(profilers)
@@ -190,7 +201,8 @@ def write_run_artifacts(directory: str, exp_id: str, result=None,
         "trace": os.path.join(directory, f"{exp_id}.trace.json"),
     }
     with open(paths["report"], "w") as handle:
-        json.dump(run_report(result, telemetry, profilers, meta), handle,
+        json.dump(run_report(result, telemetry, profilers, meta,
+                             faults=faults), handle,
                   indent=2, default=str)
     with open(paths["metrics"], "w") as handle:
         handle.write(prometheus_text(telemetry)

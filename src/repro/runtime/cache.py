@@ -235,9 +235,19 @@ def cached_run(exp_id: str, cache_dir: Optional[str] = None,
 
     Exhibits whose import closure contains dynamic imports (CACHE001)
     bypass the cache entirely: the fingerprint cannot see what they
-    load, so an entry could go stale without its key changing.
+    load, so an entry could go stale without its key changing. An
+    ambient fault plan (``repro.faults.use_fault_plan``) bypasses it
+    too — a chaos run must neither satisfy nor poison the clean cache,
+    and the plan is not part of the key.
     """
     from ..experiments import EXPERIMENTS, run
+    from ..faults.runtime import get_fault_plan
+    if get_fault_plan() is not None:
+        warnings.warn(
+            f"result cache bypassed for {exp_id!r}: an ambient fault "
+            f"plan is installed, so this run's result is not the "
+            f"exhibit's clean result", RuntimeWarning, stacklevel=2)
+        return run(exp_id), False
     dynamic = closure_dynamic_imports(EXPERIMENTS[exp_id].__module__)
     if dynamic:
         sites = "; ".join(

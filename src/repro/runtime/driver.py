@@ -68,10 +68,12 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
         take_profilers,
         write_run_artifacts,
     )
+    from ..faults import take_timelines
     telemetry = Telemetry(enabled=True)
     previous = set_telemetry(telemetry)
     enable_profiling(keep_timeline=True)
     take_profilers()  # drop any profilers a previous exhibit leaked
+    take_timelines()  # likewise for leaked fault timelines
     try:
         if spec.use_cache:
             result, _hit = cached_run(spec.exp_id, cache_dir=spec.cache_dir,
@@ -84,10 +86,17 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
         set_telemetry(previous)
     elapsed = time.perf_counter() - started  # simlint: ignore[DET001] CLI timing
     profilers = take_profilers()
+    # Fault timelines from in-process engines, merged in virtual-time
+    # order (pool-worker engines return their timelines inside results
+    # instead; forked registries never reach this process).
+    faults = sorted((entry for timeline in take_timelines()
+                     for entry in timeline),
+                    key=lambda entry: entry.get("t", 0.0))
     paths = write_run_artifacts(
         spec.report_dir, spec.exp_id, result=result, telemetry=telemetry,
-        profilers=profilers,
+        profilers=profilers, faults=faults,
         meta={"exp_id": spec.exp_id, "wall_clock_s": elapsed,
-              "simulators_profiled": len(profilers)})
+              "simulators_profiled": len(profilers),
+              "faults_recorded": len(faults)})
     return ExhibitRun(spec.exp_id, result, elapsed, cache_hit=False,
                       artifact_paths=paths)

@@ -87,15 +87,34 @@ class ServeClient:
         except (UnicodeDecodeError, json.JSONDecodeError):
             return {"error": blob.decode("utf-8", "replace")}
 
-    @staticmethod
-    def _raise(response, decoded: Dict[str, object]) -> None:
+    #: Fallback delay when a ``Retry-After`` header is missing or junk.
+    DEFAULT_RETRY_AFTER_S = 1.0
+    #: Ceiling on server-suggested delays — an honest retry loop should
+    #: never sleep for hours because a proxy emitted a huge value.
+    MAX_RETRY_AFTER_S = 300.0
+
+    @classmethod
+    def _retry_after_delay(cls, header: Optional[str]) -> float:
+        """Clamp a ``Retry-After`` header to a sane, finite delay.
+
+        Non-numeric values (including the HTTP-date form this client
+        does not speak), ``nan``, ``inf``, and negatives all collapse
+        to the default rather than poisoning callers' sleep loops.
+        """
+        try:
+            delay = float(header) if header is not None else None
+        except (ValueError, TypeError):
+            delay = None
+        if delay is None or delay != delay or delay < 0:  # junk or nan
+            delay = cls.DEFAULT_RETRY_AFTER_S
+        return min(delay, cls.MAX_RETRY_AFTER_S)
+
+    @classmethod
+    def _raise(cls, response, decoded: Dict[str, object]) -> None:
         message = str(decoded.get("error", "request failed"))
         if response.status in (429, 503):
-            retry_after = response.getheader("Retry-After", "1")
-            try:
-                delay = float(retry_after)
-            except ValueError:
-                delay = 1.0
+            delay = cls._retry_after_delay(
+                response.getheader("Retry-After"))
             raise ServerBusy(response.status, message, delay)
         raise ServeError(response.status, message)
 

@@ -75,6 +75,12 @@ class JobSpec:
     dedupe: bool = True        # coalesce with an identical in-flight job
     probe: str = ""            # probe body name (kind == "probe" only)
     probe_arg: float = 0.0     # probe parameter (e.g. sleep seconds)
+    #: Canonical JSON of a :class:`~repro.faults.FaultPlan` ("" = no
+    #: chaos). Validated at submission; the worker installs it as the
+    #: ambient plan (chaos-aware exhibits arm it) and honors any
+    #: ``serve_worker_death`` entries itself. Stored as a string so the
+    #: frozen spec stays hashable for :meth:`dedupe_key`.
+    faults: str = ""
 
     @classmethod
     def from_payload(cls, payload: object) -> "JobSpec":
@@ -84,7 +90,7 @@ class JobSpec:
             raise JobSpecError("job spec must be a JSON object")
         known_keys = ("kind", "exhibit", "exhibits", "priority", "report",
                       "use_cache", "jobs", "timeout_s", "dedupe", "probe",
-                      "probe_arg")
+                      "probe_arg", "faults")
         unknown = sorted(k for k in payload if k not in known_keys)
         if unknown:
             raise JobSpecError(f"unknown job spec field(s): "
@@ -127,6 +133,8 @@ class JobSpec:
                     f"unknown exhibit(s): {', '.join(bogus)}; known: "
                     + " ".join(known))
 
+        faults = _validate_faults(payload.get("faults"), kind)
+
         timeout_s = payload.get("timeout_s")
         if timeout_s is not None:
             timeout_s = _number(timeout_s, "timeout_s")
@@ -144,12 +152,21 @@ class JobSpec:
             use_cache=bool(payload.get("use_cache", True)),
             jobs=jobs, timeout_s=timeout_s,
             dedupe=bool(payload.get("dedupe", True)),
-            probe=probe, probe_arg=probe_arg)
+            probe=probe, probe_arg=probe_arg, faults=faults)
 
     def dedupe_key(self) -> Tuple:
         """What makes two jobs "the same work" (priority excluded)."""
         return (self.kind, self.exhibits, self.report, self.use_cache,
-                self.jobs, self.probe, self.probe_arg)
+                self.jobs, self.probe, self.probe_arg, self.faults)
+
+    def fault_plan(self):
+        """The spec's :class:`~repro.faults.FaultPlan`, or ``None``."""
+        if not self.faults:
+            return None
+        import json
+
+        from ..faults import FaultPlan
+        return FaultPlan.from_json(json.loads(self.faults))
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -163,6 +180,7 @@ class JobSpec:
             "dedupe": self.dedupe,
             "probe": self.probe,
             "probe_arg": self.probe_arg,
+            "faults": self.faults,
         }
 
 
@@ -170,6 +188,32 @@ def _number(value: object, name: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise JobSpecError(f"{name} must be a number")
     return float(value)
+
+
+def _validate_faults(value: object, kind: str) -> str:
+    """Validate a submitted fault plan into its canonical JSON string.
+
+    Accepts a JSON array of fault objects or a string containing one;
+    rejects plans on probe jobs (probes exercise the scheduler itself —
+    chaos there would be untestable noise).
+    """
+    if value is None or value == "" or value == []:
+        return ""
+    if kind == "probe":
+        raise JobSpecError("probe jobs cannot carry a fault plan")
+    import json
+
+    from ..faults import FaultPlan, FaultPlanError
+    if isinstance(value, str):
+        try:
+            value = json.loads(value)
+        except json.JSONDecodeError as exc:
+            raise JobSpecError(f"faults is not valid JSON: {exc}") from exc
+    try:
+        plan = FaultPlan.from_json(value)
+    except FaultPlanError as exc:
+        raise JobSpecError(f"invalid fault plan: {exc}") from exc
+    return plan.canonical()
 
 
 @dataclass(frozen=True)

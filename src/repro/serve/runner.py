@@ -83,8 +83,12 @@ def _run_exhibits(spec: JobSpec, conn, report_dir: Optional[str],
                   telemetry) -> List[Dict[str, object]]:
     from ..runtime import RunSpec, run_exhibit, sweep_imap, use_executor
 
+    # A chaos job never reads or writes the clean-result cache: a
+    # faulted run answers a different question than the exhibit's
+    # default, and must not poison (or be satisfied by) its entries.
+    use_cache = spec.use_cache and not spec.faults
     specs = [RunSpec(exp_id, report_dir=report_dir,
-                     use_cache=spec.use_cache, cache_dir=cache_dir)
+                     use_cache=use_cache, cache_dir=cache_dir)
              for exp_id in spec.exhibits]
     total = len(specs)
     summaries: List[Dict[str, object]] = []
@@ -114,18 +118,31 @@ def _run_exhibits(spec: JobSpec, conn, report_dir: Optional[str],
 
 
 def execute_job(spec: JobSpec, conn, report_dir: Optional[str] = None,
-                cache_dir: Optional[str] = None) -> None:
-    """Child-process entry point: run one job attempt, report via pipe."""
+                cache_dir: Optional[str] = None, attempt: int = 1) -> None:
+    """Child-process entry point: run one job attempt, report via pipe.
+
+    ``attempt`` is the 1-based attempt number; a ``serve_worker_death``
+    fault in the spec's plan kills that many leading attempts (the
+    chaos analogue of the ``crash`` probe, but riding along a real
+    exhibit run), exercising the scheduler's retry path end to end.
+    """
     from ..obs import Telemetry, set_telemetry
 
     telemetry = Telemetry(enabled=True)
     set_telemetry(telemetry)  # job-scoped; process exits afterwards
     try:
+        plan = spec.fault_plan()
+        if plan is not None:
+            for fault in plan.serve_faults():
+                if attempt <= max(int(fault.param), 1):
+                    os._exit(3)  # worker death: no message, nonzero exit
         if spec.kind == "probe":
             summaries = _run_probe(spec, conn)
         else:
-            summaries = _run_exhibits(spec, conn, report_dir, cache_dir,
-                                      telemetry)
+            from ..faults import use_fault_plan
+            with use_fault_plan(plan):
+                summaries = _run_exhibits(spec, conn, report_dir,
+                                          cache_dir, telemetry)
         conn.send(("done", {"runs": summaries,
                             "telemetry": telemetry.scalar_totals()}))
     except BaseException as exc:  # report, then exit cleanly

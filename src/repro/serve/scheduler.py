@@ -251,9 +251,11 @@ class Scheduler:
         """Result summaries when *every* exhibit is cache-warm, else None.
 
         Jobs that write artifacts must really execute, so ``report``
-        disqualifies; so does ``use_cache=False``.
+        disqualifies; so do ``use_cache=False`` and a fault plan (a
+        chaos run's result is not the exhibit's clean result).
         """
-        if spec.kind == "probe" or spec.report or not spec.use_cache:
+        if (spec.kind == "probe" or spec.report or not spec.use_cache
+                or spec.faults):
             return None
         from ..runtime import ResultCache
         cache = ResultCache(self.cache_dir)
@@ -335,7 +337,8 @@ class Scheduler:
             attempt += 1
             self.store.mark_running(job, attempt)
             self.store.append_event(job, "started", {"attempt": attempt})
-            outcome, payload = self._run_attempt(job, report_dir, timeout_s)
+            outcome, payload = self._run_attempt(job, report_dir, timeout_s,
+                                                 attempt)
             wall_s = time.monotonic() - started
             if outcome == "done":
                 runs = payload.get("runs", [])
@@ -385,18 +388,22 @@ class Scheduler:
         self.metrics.job_wall_time(job.spec.kind, wall_s)
 
     def _run_attempt(self, job: Job, report_dir: Optional[str],
-                     timeout_s: float) -> Tuple[str, Dict[str, object]]:
+                     timeout_s: float, attempt: int = 1
+                     ) -> Tuple[str, Dict[str, object]]:
         """Fork one attempt; returns (outcome, payload).
 
         Outcomes: ``done``/``error`` (terminal messages off the pipe),
         ``timeout`` (deadline expired, process terminated), ``died``
-        (pipe closed with no terminal message).
+        (pipe closed with no terminal message). The attempt number
+        rides into the child so ``serve_worker_death`` faults can doom
+        exactly the first N attempts.
         """
         context = _fork_context()
         parent_conn, child_conn = context.Pipe(duplex=False)
         process = context.Process(
             target=execute_job, args=(job.spec, child_conn),
-            kwargs={"report_dir": report_dir, "cache_dir": self.cache_dir},
+            kwargs={"report_dir": report_dir, "cache_dir": self.cache_dir,
+                    "attempt": attempt},
             name=f"serve-{job.id}")
         process.start()
         child_conn.close()  # parent must drop its copy for EOF to work

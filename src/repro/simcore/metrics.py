@@ -71,24 +71,31 @@ class Summary:
     def count(self) -> int:
         return len(self.values)
 
-    @property
-    def mean(self) -> float:
+    def _require_samples(self) -> None:
         if not self.values:
             raise ValueError(f"summary {self.name!r} is empty")
+
+    @property
+    def mean(self) -> float:
+        self._require_samples()
         return sum(self.values) / len(self.values)
 
     @property
     def minimum(self) -> float:
+        self._require_samples()
         return min(self.values)
 
     @property
     def maximum(self) -> float:
+        self._require_samples()
         return max(self.values)
 
     def percentile(self, p: float) -> float:
+        self._require_samples()
         return percentile(self.values, p)
 
     def cdf(self) -> List[Tuple[float, float]]:
+        self._require_samples()
         return cdf(self.values)
 
     def histogram(self, edges: Sequence[float]) -> List[int]:
@@ -139,17 +146,28 @@ class TimeSeries:
 
         ``agg`` is one of ``mean``, ``sum``, ``max``, ``min``, ``count``,
         ``rate`` (count per unit time).
+
+        An explicit ``end`` is *exclusive* (``start <= t < end``, the
+        same right-open convention as :meth:`window`), so adjacent
+        ``bucketed`` calls never count a boundary sample twice. Without
+        ``end`` the whole remaining series is included. ``rate`` divides
+        by each bucket's *covered* width, clamping the final partial
+        bucket to the window (or series) extent instead of the full
+        bucket width.
         """
         if bucket <= 0:
             raise ValueError("bucket width must be positive")
         if not self.times:
             return []
         lo = self.times[0] if start is None else start
-        hi = self.times[-1] if end is None else end
         buckets: Dict[int, List[float]] = {}
         for t, v in zip(self.times, self.values):
-            if lo <= t <= hi:
-                buckets.setdefault(int((t - lo) // bucket), []).append(v)
+            if t < lo or (end is not None and t >= end):
+                continue
+            buckets.setdefault(int((t - lo) // bucket), []).append(v)
+        # The window extent caps the last bucket's width for ``rate``;
+        # with no explicit end the series' own last sample bounds it.
+        extent = (end if end is not None else self.times[-1]) - lo
         result = []
         for index in sorted(buckets):
             samples = buckets[index]
@@ -165,7 +183,12 @@ class TimeSeries:
             elif agg == "count":
                 value = float(len(samples))
             elif agg == "rate":
-                value = len(samples) / bucket
+                width = min(bucket, extent - index * bucket)
+                if width <= 0:
+                    # A lone sample exactly on the series' final
+                    # boundary: no covered span, use the full bucket.
+                    width = bucket
+                value = len(samples) / width
             else:
                 raise ValueError(f"unknown aggregation {agg!r}")
             result.append((mid, value))

@@ -21,12 +21,13 @@ class TestHarness:
         }
         assert expected <= set(EXPERIMENTS)
         # Everything beyond the paper exhibits is an ablation study, a
-        # scripted production case, or a robustness study.
+        # scripted production case, a robustness study, or the chaos
+        # exhibit.
         from repro.experiments import (ABLATIONS, CASES_EXPERIMENTS,
                                        SENSITIVITY)
         assert (set(EXPERIMENTS) - expected
                 == set(ABLATIONS) | set(CASES_EXPERIMENTS)
-                | set(SENSITIVITY))
+                | set(SENSITIVITY) | {"fig8_recovery"})
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

@@ -147,6 +147,13 @@ class TestCache001DynamicImports:
                              module="tests.lint_fixtures.cache001_dynamic")
         assert found == []
 
+    def test_rule_covers_faults_package(self):
+        # Chaos-aware exhibits import repro.faults on the cached path,
+        # so its modules get the same dynamic-import scrutiny.
+        found = findings_for("cache001_dynamic.py", "CACHE001",
+                             module="repro.faults.fixture")
+        assert [f.line for f in found] == [7, 15]
+
 
 class TestSuppressionAndSelection:
     def test_same_line_and_line_above_suppression(self, tmp_path):

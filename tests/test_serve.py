@@ -114,6 +114,38 @@ class TestJobSpec:
                                      "priority": 9})
         assert low.dedupe_key() == high.dedupe_key()
 
+    def test_faults_field_canonicalized_and_in_dedupe_key(self):
+        chaos = JobSpec.from_payload({
+            "kind": "exhibit", "exhibit": "fig17",
+            "faults": [{"param": 2, "kind": "serve_worker_death"}]})
+        plan = chaos.fault_plan()
+        assert [f.kind for f in plan.faults] == ["serve_worker_death"]
+        assert plan.faults[0].param == 2
+        # Key order in the payload must not matter: the spec stores the
+        # plan's canonical JSON, so equivalent payloads dedupe together.
+        reordered = JobSpec.from_payload({
+            "kind": "exhibit", "exhibit": "fig17",
+            "faults": [{"kind": "serve_worker_death", "param": 2}]})
+        assert chaos.faults == reordered.faults
+        assert chaos.dedupe_key() == reordered.dedupe_key()
+        clean = JobSpec.from_payload({"kind": "exhibit",
+                                      "exhibit": "fig17"})
+        assert clean.fault_plan() is None
+        assert chaos.dedupe_key() != clean.dedupe_key()
+
+    def test_faults_field_rejects_junk_and_probes(self):
+        with pytest.raises(JobSpecError, match="not valid JSON"):
+            JobSpec.from_payload({"kind": "exhibit", "exhibit": "fig17",
+                                  "faults": "{nope"})
+        with pytest.raises(JobSpecError, match="invalid fault plan"):
+            JobSpec.from_payload({"kind": "exhibit", "exhibit": "fig17",
+                                  "faults": [{"kind": "meteor_strike"}]})
+        with pytest.raises(JobSpecError,
+                           match="probe jobs cannot carry a fault plan"):
+            JobSpec.from_payload({
+                "kind": "probe", "probe": "ok",
+                "faults": [{"kind": "serve_worker_death"}]})
+
 
 class TestLifecycle:
     def test_submit_to_done_with_artifacts(self, server):
@@ -211,6 +243,39 @@ class TestRobustness:
             assert server.metrics.value("serve_jobs_total",
                                         outcome="rejected",
                                         kind="probe") == 1
+        finally:
+            server.close()
+
+    def test_retry_after_header_clamped(self):
+        clamp = ServeClient._retry_after_delay
+        assert clamp("2.5") == 2.5
+        assert clamp("0") == 0.0
+        # Missing, non-numeric (incl. HTTP-date), nan, and negative
+        # values collapse to the default…
+        assert clamp(None) == ServeClient.DEFAULT_RETRY_AFTER_S
+        assert clamp("soon") == ServeClient.DEFAULT_RETRY_AFTER_S
+        assert clamp("Wed, 21 Oct 2026 07:28:00 GMT") == \
+            ServeClient.DEFAULT_RETRY_AFTER_S
+        assert clamp("nan") == ServeClient.DEFAULT_RETRY_AFTER_S
+        assert clamp("-5") == ServeClient.DEFAULT_RETRY_AFTER_S
+        # …and huge or infinite delays hit the ceiling.
+        assert clamp("inf") == ServeClient.MAX_RETRY_AFTER_S
+        assert clamp("86400") == ServeClient.MAX_RETRY_AFTER_S
+
+    def test_worker_death_fault_retries_then_succeeds(self, tmp_path):
+        server = _Server(tmp_path, max_retries=2)
+        try:
+            job = server.client.submit({
+                "kind": "exhibit", "exhibit": "fig19",
+                "use_cache": False,
+                "faults": [{"kind": "serve_worker_death", "param": 1}]})
+            done = server.client.wait(job["id"], timeout=120)
+            assert done["state"] == "done"
+            assert done["attempts"] == 2  # attempt 1 killed by the plan
+            assert done["result"][0]["exp_id"] == "fig19"
+            names = [e["name"] for e in server.client.events(job["id"])]
+            assert "retry" in names
+            assert names.count("started") == 2
         finally:
             server.close()
 

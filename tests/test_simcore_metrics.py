@@ -109,6 +109,27 @@ class TestTimeSeries:
             series.record(t, 1.0)
         buckets = series.bucketed(1.0, agg="rate")
         assert buckets[0][1] == pytest.approx(3.0)
+        # The final bucket only covers [1.0, 1.5]: one event over half a
+        # second is 2/s, not 1/s (the old full-width division).
+        assert buckets[1][1] == pytest.approx(2.0)
+
+    def test_bucketed_rate_clamps_partial_bucket_with_end(self):
+        series = TimeSeries()
+        for t in (0.0, 0.5, 1.0, 1.1):
+            series.record(t, 1.0)
+        buckets = series.bucketed(1.0, agg="rate", start=0.0, end=1.25)
+        assert buckets[0][1] == pytest.approx(2.0)
+        # Bucket 1 covers [1.0, 1.25): 2 events / 0.25 s.
+        assert buckets[1][1] == pytest.approx(8.0)
+
+    def test_bucketed_rate_sample_on_final_boundary(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(1.0, 1.0)
+        buckets = series.bucketed(1.0, agg="rate")
+        # The boundary sample lands in a zero-extent final bucket; the
+        # rate falls back to the full bucket width instead of dividing
+        # by zero.
         assert buckets[1][1] == pytest.approx(1.0)
 
     def test_bucketed_unknown_agg(self):
@@ -134,7 +155,25 @@ class TestTimeSeries:
         for t in range(5):
             series.record(float(t), 1.0)
         buckets = series.bucketed(1.0, agg="count", start=1.0, end=3.0)
-        # Only samples in [1.0, 3.0] count, bucketed relative to start.
+        # end is exclusive (same right-open convention as window()):
+        # only the samples at t=1.0 and t=2.0 count.
+        assert sum(count for _, count in buckets) == 2
+
+    def test_bucketed_adjacent_windows_never_double_count(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.record(float(t), 1.0)
+        first = series.bucketed(1.0, agg="count", start=0.0, end=2.0)
+        second = series.bucketed(1.0, agg="count", start=2.0, end=4.0)
+        # The sample at t=2.0 belongs to exactly one of the two calls.
+        total = sum(c for _, c in first) + sum(c for _, c in second)
+        assert total == 4
+
+    def test_bucketed_default_end_includes_last_sample(self):
+        series = TimeSeries()
+        for t in (0.0, 1.0, 2.0):
+            series.record(t, 1.0)
+        buckets = series.bucketed(1.0, agg="count")
         assert sum(count for _, count in buckets) == 3
 
     def test_bucketed_midpoints(self):
@@ -206,3 +245,15 @@ class TestSummaryEdgeCases:
             Summary().minimum
         with pytest.raises(ValueError):
             Summary().maximum
+
+    def test_empty_errors_are_consistently_named(self):
+        # Every empty-summary access names the summary instead of
+        # leaking a bare builtin message like "min() arg is an empty
+        # sequence".
+        summary = Summary("rtt")
+        for access in (lambda: summary.mean, lambda: summary.minimum,
+                       lambda: summary.maximum,
+                       lambda: summary.percentile(99),
+                       lambda: summary.cdf()):
+            with pytest.raises(ValueError, match=r"summary 'rtt' is empty"):
+                access()
