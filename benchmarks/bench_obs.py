@@ -1,0 +1,191 @@
+"""Observability benchmark: causal-tracing overhead on the mesh data
+path — disabled (the default), head-sampled, and full capture.
+
+Plain script (not pytest — ``testpaths`` keeps it out of tier-1)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick
+
+Writes ``BENCH_obs.json`` (override with ``--out``) with two sections:
+
+* ``request_path`` — wall-clock for a fixed canal-mesh request loop
+  under no tracer / 10%% sampling / 100%% capture, plus each mode's
+  overhead ratio against disabled. Disabled tracing is the default
+  everywhere, so its overhead vs the untraced baseline is the number
+  that gates the PR: the budget is <= 5%%.
+* ``collector`` — span-record throughput and ring-buffer eviction cost
+  on the collector alone (no simulation in the loop).
+
+Tracing must never perturb the model, so the script also asserts the
+request latencies are identical across all three modes before timing
+anything — a perturbed run would make the timings meaningless.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.testbed import build_testbed  # noqa: E402
+from repro.mesh import HttpRequest  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Span,
+    TraceCollector,
+    Tracer,
+    take_collectors,
+    use_tracer,
+)
+
+# ---------------------------------------------------------------------------
+# request path — the number that matters: disabled-by-default overhead.
+
+
+def _request_loop(requests: int, tracer, seed: int = 23):
+    """One canal testbed, ``requests`` requests through gateway + node
+    L4 + app; returns (wall_s, latencies, traces_recorded)."""
+    run = build_testbed("canal", seed=seed)
+    latencies = []
+
+    def scenario():
+        connection = yield run.sim.process(
+            run.mesh.open_connection(run.client_pod, "svc1"))
+        for _ in range(requests):
+            response = yield run.sim.process(
+                run.mesh.request(connection, HttpRequest()))
+            latencies.append(response.latency_s)
+
+    run.sim.process(scenario())
+    started = time.perf_counter()
+    if tracer is None:
+        run.sim.run()
+        recorded = 0
+    else:
+        with use_tracer(tracer):
+            run.sim.run()
+        recorded = len(tracer.collector.traces())
+        take_collectors()
+    wall_s = time.perf_counter() - started
+    return wall_s, latencies, recorded
+
+
+def bench_request_path(quick: bool) -> dict:
+    requests = 400 if quick else 2000
+    repeats = 3 if quick else 5
+    modes = (
+        # No ambient tracer at all — the shipping default.
+        ("baseline", lambda: None),
+        # Tracer installed but disabled: every request pays the
+        # get_tracer() check plus one short-circuiting start() call.
+        # This is the worst-case "tracing off" configuration and the
+        # one the <=5% budget gates.
+        ("disabled", lambda: Tracer(enabled=False)),
+        ("sampled_10pct", lambda: Tracer(sample_rate=0.1, seed=23)),
+        ("full", lambda: Tracer(sample_rate=1.0, seed=23)),
+    )
+
+    results = {}
+    baseline_latencies = None
+    for name, make_tracer in modes:
+        best_s, latencies, recorded = min(
+            (_request_loop(requests, make_tracer()) for _ in range(repeats)),
+            key=lambda sample: sample[0])
+        if baseline_latencies is None:
+            baseline_latencies = latencies
+        elif latencies != baseline_latencies:
+            raise AssertionError(
+                f"tracing mode {name!r} perturbed the simulation")
+        results[name] = {"wall_s": round(best_s, 4),
+                         "traces_recorded": recorded}
+
+    base_s = results["baseline"]["wall_s"]
+    for name in results:
+        results[name]["overhead_vs_baseline"] = \
+            round(results[name]["wall_s"] / base_s, 3)
+        print(f"  request_path/{name}: {results[name]['wall_s']:.3f}s "
+              f"({results[name]['overhead_vs_baseline']:.2f}x, "
+              f"{results[name]['traces_recorded']} traces)")
+    results["requests"] = requests
+    return results
+
+
+# ---------------------------------------------------------------------------
+# collector — raw span-record throughput, with and without eviction.
+
+
+def bench_collector(quick: bool) -> dict:
+    spans = 50_000 if quick else 200_000
+
+    def record_all(max_traces):
+        collector = TraceCollector(max_traces=max_traces)
+        started = time.perf_counter()
+        for index in range(spans):
+            collector.record(Span(
+                trace_id=index // 4 + 1, source="bench", layer="l7",
+                start_s=float(index), end_s=float(index) + 1.0,
+                pod="p1", bytes_out=64, bytes_in=32,
+                span_id=index % 4 + 1, parent_id=index % 4, name="s"))
+        wall_s = time.perf_counter() - started
+        return wall_s, collector
+
+    unbounded_s, unbounded = record_all(max_traces=spans)
+    bounded_s, bounded = record_all(max_traces=256)
+    assert len(bounded.traces()) == 256
+    # Eviction must not lose the traffic aggregate.
+    assert bounded.pod_traffic_report() == unbounded.pod_traffic_report()
+    print(f"  collector/record: {spans / unbounded_s:,.0f} spans/s "
+          f"unbounded, {spans / bounded_s:,.0f} spans/s with eviction")
+    return {
+        "spans": spans,
+        "record_per_sec": round(spans / unbounded_s),
+        "record_evicting_per_sec": round(spans / bounded_s),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller iteration counts (CI smoke)")
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="output JSON path")
+    parser.add_argument("--max-disabled-overhead", type=float, default=None,
+                        help="fail (exit 1) if disabled-mode overhead "
+                             "exceeds this ratio, e.g. 1.05")
+    options = parser.parse_args(argv)
+
+    print("request path:")
+    request_path = bench_request_path(options.quick)
+    print("collector:")
+    collector = bench_collector(options.quick)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": options.quick,
+        },
+        "request_path": request_path,
+        "collector": collector,
+    }
+    with open(options.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {options.out}")
+
+    if options.max_disabled_overhead is not None:
+        overhead = request_path["disabled"]["overhead_vs_baseline"]
+        if overhead > options.max_disabled_overhead:
+            print(f"FAIL: disabled-tracing overhead {overhead:.3f}x "
+                  f"exceeds budget {options.max_disabled_overhead:.3f}x")
+            return 1
+        print(f"disabled-tracing overhead {overhead:.3f}x within "
+              f"budget {options.max_disabled_overhead:.3f}x")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

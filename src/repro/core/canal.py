@@ -23,10 +23,10 @@ from ..mesh.costs import DEFAULT_COSTS, MeshCostModel
 from ..mesh.http import HttpRequest, HttpResponse
 from ..mesh.proxy import Connection, ProxyTier
 from ..netsim import FiveTuple, ResolutionError
+from ..obs.trace import TraceCollector, Tracer, get_tracer
 from ..simcore import Simulator
 from .gateway import GatewayConfig, MeshGateway, NoBackendAvailable
 from .key_server import FallbackEngine, KeyServerFleet
-from .observability import Span, TraceCollector
 from .onnode import OnNodeProxy
 from .prober import AppEndpoint, HealthCheckProxy, ProbeRecord
 from .replica import ReplicaConfig
@@ -70,8 +70,19 @@ class CanalMesh(ServiceMesh):
         if (crypto_offload == OFFLOAD_REMOTE
                 and self.key_fleet.server_in(gateway_az) is None):
             self.key_fleet.deploy(gateway_az)
-        #: Optional end-to-end trace collection (core.observability).
-        self.tracing = tracing
+        #: Optional end-to-end trace collection (repro.obs.trace): a
+        #: TraceCollector (every request traced into it) or a Tracer
+        #: (sampling applies). Without either, the *ambient* tracer —
+        #: installed by runs via repro.obs.use_tracer() — is consulted
+        #: per request; the common disabled case costs one None check.
+        self.tracing: Optional[TraceCollector] = None
+        self._tracer: Optional[Tracer] = None
+        if isinstance(tracing, Tracer):
+            self._tracer = tracing
+            self.tracing = tracing.collector
+        elif tracing is not None:
+            self.tracing = tracing
+            self._tracer = Tracer(collector=tracing, sample_rate=1.0)
         self.onnode: Dict[str, OnNodeProxy] = {}
         self._services: Dict[str, TenantService] = {}
         self._server_channels: Set[str] = set()
@@ -237,19 +248,29 @@ class CanalMesh(ServiceMesh):
             raise MeshError(f"pod {pod.name} is on an unmanaged node")
         return proxy
 
+    def _trace_source(self) -> Optional[Tracer]:
+        """The explicit per-mesh tracer, else the ambient one (if any)."""
+        if self._tracer is not None:
+            return self._tracer
+        return get_tracer()
+
     def open_connection(self, client_pod: Pod, service: str):
         """Establish the on-node↔gateway mTLS channel for this client."""
         tenant_service = self.tenant_service(service)
         server_pod = self.pick_endpoint(service)
         client_proxy = self._proxy_for(client_pod)
         server_proxy = self._proxy_for(server_pod)
+        tracer = self._trace_source()
+        trace_sink = ([] if tracer is not None and tracer.enabled
+                      else None)
         if self.mtls_enabled:
-            yield from self._handshake(client_proxy)
+            yield from self._handshake(client_proxy, trace_sink=trace_sink)
             # The server node's channel to the gateway is long-lived:
             # establish it the first time any connection lands there.
             if server_proxy.node_name not in self._server_channels:
                 self._server_channels.add(server_proxy.node_name)
-                yield from self._handshake(server_proxy)
+                yield from self._handshake(server_proxy,
+                                           trace_sink=trace_sink)
         self._port_counter += 1
         flow = FiveTuple(src_ip=client_pod.ip or "10.0.0.1",
                          src_port=self._port_counter,
@@ -261,25 +282,80 @@ class CanalMesh(ServiceMesh):
         connection.meta["flow"] = flow
         connection.meta["service_id"] = tenant_service.service_id
         connection.meta["client_az"] = client_proxy.az
+        if trace_sink:
+            # Deferred TLS spans: adopted by the first request's trace.
+            connection.meta["pending_spans"] = trace_sink
         return connection
 
-    def _handshake(self, proxy: OnNodeProxy):
-        """mTLS negotiation between an on-node proxy and the gateway."""
+    def _handshake(self, proxy: OnNodeProxy, trace_sink=None):
+        """mTLS negotiation between an on-node proxy and the gateway.
+
+        ``trace_sink`` (a list) collects one deferred span spec per
+        handshake — setup / asymmetric-crypto / finished sub-spans —
+        mirroring ``crypto.tls.mtls_handshake``'s decomposition.
+        """
+        start = self.sim.now
         yield from proxy.handshake_work()
+        setup_end = self.sim.now
         both = self.sim.all_of([proxy.asym_engine.submit(),
                                 self._gateway_engine.submit()])
         yield both
+        asym_end = self.sim.now
         yield self.sim.timeout(2 * 2 * self.costs.canal_gateway_hop_s)
+        if trace_sink is not None:
+            trace_sink.append({
+                "name": "tls-handshake", "layer": "tls",
+                "start_s": start, "end_s": self.sim.now,
+                "source": f"node/{proxy.node_name}",
+                "annotations": {"peer": "gateway",
+                                "offload": self.crypto_offload},
+                "children": [
+                    {"name": "tls-setup", "layer": "tls",
+                     "start_s": start, "end_s": setup_end},
+                    {"name": "tls-asym", "layer": "tls",
+                     "start_s": setup_end, "end_s": asym_end},
+                    {"name": "tls-finished", "layer": "tls",
+                     "start_s": asym_end, "end_s": self.sim.now},
+                ]})
+
+    def _start_trace(self, connection: Connection):
+        """Begin one request trace (or ``None``), adopting any deferred
+        TLS handshake spans from the connection's setup."""
+        tracer = self._trace_source()
+        if tracer is None:
+            return None
+        handle = tracer.start(
+            "request", layer="request",
+            source=f"client/{connection.client}",
+            service=connection.service, start_s=self.sim.now,
+            mesh=self.name)
+        if handle is None:
+            return None
+        pending = connection.meta.pop("pending_spans", None)
+        if pending:
+            # The handshake predates the request: widen the root so it
+            # covers connection setup end to end.
+            handle.start_s = min(handle.start_s,
+                                 min(spec["start_s"] for spec in pending))
+            for spec in pending:
+                handle.add_tree(spec)
+        return handle
+
+    def _finish_trace(self, handle, status: int, **annotations) -> None:
+        if handle is not None:
+            handle.finish(self.sim.now, status=status, **annotations)
 
     def request(self, connection: Connection, request: HttpRequest):
         """on-node → gateway L7 → on-node → app exchange."""
         cluster = self._require_cluster()
         start = self.sim.now
+        handle = self._start_trace(connection)
         client_pod = cluster.pods[connection.client]
         server_pod = cluster.pods.get(connection.server_pod)
         if server_pod is None:
             self.observe_request(503, self.sim.now - start,
                                  connection.service)
+            self._finish_trace(handle, 503)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
         client_proxy = self._proxy_for(client_pod)
         server_proxy = self._proxy_for(server_pod)
@@ -292,57 +368,48 @@ class CanalMesh(ServiceMesh):
         if throttle is not None and not throttle.allow(self.sim.now):
             self.observe_request(429, self.sim.now - start,
                                  connection.service)
+            self._finish_trace(handle, 429)
             return HttpResponse(status=429, latency_s=self.sim.now - start)
         if not self.authorize(connection.service, request):
             self.observe_request(403, self.sim.now - start,
                                  connection.service)
+            self._finish_trace(handle, 403)
             return HttpResponse(status=403, latency_s=self.sim.now - start)
 
-        trace_id = (self.tracing.new_trace_id()
-                    if self.tracing is not None else 0)
-        segment_start = self.sim.now
         yield from client_proxy.process_message(
             client_pod.name, connection.service,
             request.body_bytes, request.response_bytes,
-            mtls=self.mtls_enabled)
-        self._emit_span(trace_id, f"onnode@{client_proxy.node_name}", "l4",
-                        segment_start, client_pod.name, connection.service,
-                        request.body_bytes, request.response_bytes)
+            mtls=self.mtls_enabled, trace=handle)
         yield self.sim.timeout(hop)
-        segment_start = self.sim.now
         try:
             result = yield self.sim.process(self.gateway.process_request(
                 service_id, flow, is_syn=connection.requests_sent == 0,
-                client_az=connection.meta["client_az"]))
+                client_az=connection.meta["client_az"], trace=handle))
         except (NoBackendAvailable, ResolutionError):
             self.observe_request(503, self.sim.now - start,
                                  connection.service)
+            self._finish_trace(handle, 503)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
-        self._emit_span(trace_id, f"gateway/{result.replica.name}", "l7",
-                        segment_start, "", connection.service,
-                        request.body_bytes, request.response_bytes)
         # Each redirection hop in the replica chain is one more intra-
         # gateway hop.
         if result.redirection_hops:
             yield self.sim.timeout(result.redirection_hops * hop)
         yield self.sim.timeout(hop)
-        segment_start = self.sim.now
         yield from server_proxy.process_message(
             server_pod.name, connection.service,
             request.response_bytes, request.body_bytes,
-            mtls=self.mtls_enabled)
-        self._emit_span(trace_id, f"onnode@{server_proxy.node_name}", "l4",
-                        segment_start, server_pod.name, connection.service,
-                        request.response_bytes, request.body_bytes)
+            mtls=self.mtls_enabled, trace=handle)
         segment_start = self.sim.now
         yield self.sim.timeout(self.costs.app_service_time_s)
-        self._emit_span(trace_id, f"app/{server_pod.name}", "app",
-                        segment_start, server_pod.name, connection.service,
-                        0, 0)
+        if handle is not None:
+            handle.add("app-exec", "app", segment_start, self.sim.now,
+                       source=f"app/{server_pod.name}",
+                       pod=server_pod.name)
         yield self.sim.timeout(2 * hop)  # response back through the gateway
         connection.requests_sent += 1
         latency = self.sim.now - start
         self.observe_request(200, latency, connection.service)
+        self._finish_trace(handle, 200, replica=result.replica.name)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=result.replica.name)
 
@@ -352,16 +419,6 @@ class CanalMesh(ServiceMesh):
         service_id = connection.meta.get("service_id")
         if flow is not None and service_id is not None:
             self.gateway.close_flow(service_id, flow)
-
-    def _emit_span(self, trace_id: int, source: str, layer: str,
-                   start_s: float, pod: str, service: str,
-                   bytes_out: int, bytes_in: int) -> None:
-        if self.tracing is None:
-            return
-        self.tracing.record(Span(
-            trace_id=trace_id, source=source, layer=layer,
-            start_s=start_s, end_s=self.sim.now, pod=pod, service=service,
-            bytes_out=bytes_out, bytes_in=bytes_in))
 
     # -- accounting ---------------------------------------------------------
     def user_tiers(self) -> List[ProxyTier]:

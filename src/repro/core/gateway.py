@@ -336,17 +336,35 @@ class MeshGateway:
         return result
 
     def process_request(self, service_id: int, flow: FiveTuple,
-                        is_syn: bool, client_az: str):
-        """Process generator: deliver + execute one request's L7 work."""
+                        is_syn: bool, client_az: str, trace=None,
+                        parent_id: int = 1):
+        """Process generator: deliver + execute one request's L7 work.
+
+        With a ``trace`` handle, the whole gateway pass becomes an
+        ``l7`` span under ``parent_id`` — annotated with the LB pick
+        (replica, redirection hops) — enclosing the replica-execution
+        child span.
+        """
+        start = self.sim.now
+        l7_id = trace.reserve_id() if trace is not None else 0
         result = self.deliver(service_id, flow, is_syn, client_az)
         if result.is_new_flow:
             self._track_session(result.replica)
         service = self.registry.services.get(service_id)
         weight = service.request_weight if service is not None else 1.0
-        yield from result.replica.process_request(weight)
+        yield from result.replica.process_request(weight, trace=trace,
+                                                  parent_id=l7_id)
         get_telemetry().inc("gateway_requests_total",
                             service=str(service_id),
                             replica=result.replica.name)
+        if trace is not None:
+            trace.add("gateway-l7", "l7", start, self.sim.now,
+                      parent_id=parent_id, span_id=l7_id,
+                      source=f"gateway/{result.replica.name}",
+                      replica=result.replica.name,
+                      redirection_hops=result.redirection_hops,
+                      new_flow=result.is_new_flow,
+                      tunneled=self.config.session_aggregation)
         return result
 
     def _track_session(self, replica: Replica) -> None:

@@ -1,133 +1,14 @@
 """End-to-end observability: spans, traces, and per-pod metrics (§4.1.1).
 
-The functional-equivalence analysis says observability wants
-instrumentation "at critical points in the traffic path". Canal's
-split: the on-node proxies contribute L4 spans (with per-pod labels,
-Appendix A), the gateway contributes the L7 span. This module assembles
-those into end-to-end traces and checks coverage — *full* when both
-sides report, *partial* in proxyless mode where only the gateway can.
+The span model, collector, and coverage analysis moved to
+:mod:`repro.obs.trace`, which generalizes the original flat two-span
+traces into causal trees with deterministic sampling and bounded
+collection. This module re-exports the names so existing imports
+(``repro.core.Span`` / ``TraceCollector``) keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from ..obs.trace import Span, Trace, TraceCollector
 
 __all__ = ["Span", "Trace", "TraceCollector"]
-
-
-@dataclass(frozen=True)
-class Span:
-    """One instrumented segment of a request's path."""
-
-    trace_id: int
-    source: str            # "onnode@worker1", "gateway/replica-3", ...
-    layer: str             # "l4" | "l7" | "app"
-    start_s: float
-    end_s: float
-    pod: str = ""
-    service: str = ""
-    bytes_out: int = 0
-    bytes_in: int = 0
-
-    @property
-    def duration_s(self) -> float:
-        return self.end_s - self.start_s
-
-
-@dataclass
-class Trace:
-    """All spans of one request, ordered by start time."""
-
-    trace_id: int
-    spans: List[Span] = field(default_factory=list)
-
-    @property
-    def start_s(self) -> float:
-        return min(span.start_s for span in self.spans)
-
-    @property
-    def end_s(self) -> float:
-        return max(span.end_s for span in self.spans)
-
-    @property
-    def duration_s(self) -> float:
-        return self.end_s - self.start_s
-
-    def layers(self) -> List[str]:
-        return sorted({span.layer for span in self.spans})
-
-    @property
-    def coverage(self) -> str:
-        """"full" when both node-side L4 and gateway L7 views exist."""
-        has_l4 = any(span.layer == "l4" for span in self.spans)
-        has_l7 = any(span.layer == "l7" for span in self.spans)
-        if has_l4 and has_l7:
-            return "full"
-        if has_l7:
-            return "partial"
-        return "none"
-
-    def critical_path_gap_s(self) -> float:
-        """Unattributed time: end-to-end minus instrumented coverage.
-
-        Large gaps mean a fault can't be pinpointed — exactly the §3.2
-        Issue #1 worry about losing node-side collection. Spans overlap
-        (the gateway L7 span can enclose node L4 spans), so coverage is
-        the *union* of span intervals, not the sum of durations.
-        """
-        intervals = sorted((span.start_s, span.end_s) for span in self.spans)
-        covered = 0.0
-        current_start, current_end = intervals[0]
-        for start, end in intervals[1:]:
-            if start > current_end:
-                covered += current_end - current_start
-                current_start, current_end = start, end
-            else:
-                current_end = max(current_end, end)
-        covered += current_end - current_start
-        # The union lies within [start_s, end_s]; the clamp only guards
-        # floating-point residue.
-        return max(0.0, self.duration_s - covered)
-
-
-class TraceCollector:
-    """Receives spans from proxies/gateway and assembles traces."""
-
-    def __init__(self):
-        self._spans: Dict[int, List[Span]] = {}
-        self._next_trace_id = 1
-        self.pod_bytes: Dict[str, int] = {}
-
-    def new_trace_id(self) -> int:
-        trace_id = self._next_trace_id
-        self._next_trace_id += 1
-        return trace_id
-
-    def record(self, span: Span) -> None:
-        self._spans.setdefault(span.trace_id, []).append(span)
-        if span.pod:
-            self.pod_bytes[span.pod] = (self.pod_bytes.get(span.pod, 0)
-                                        + span.bytes_out + span.bytes_in)
-
-    def trace(self, trace_id: int) -> Trace:
-        spans = self._spans.get(trace_id)
-        if not spans:
-            raise KeyError(f"no spans recorded for trace {trace_id}")
-        return Trace(trace_id=trace_id,
-                     spans=sorted(spans, key=lambda s: s.start_s))
-
-    def traces(self) -> List[Trace]:
-        return [self.trace(trace_id) for trace_id in sorted(self._spans)]
-
-    def coverage_report(self) -> Dict[str, int]:
-        """How many traces achieved each coverage level."""
-        report: Dict[str, int] = {"full": 0, "partial": 0, "none": 0}
-        for trace in self.traces():
-            report[trace.coverage] += 1
-        return report
-
-    def pod_traffic_report(self) -> Dict[str, int]:
-        """Per-pod byte totals — the sidecar-equivalent statistic that
-        the on-node proxy reconstructs by labeling traffic."""
-        return dict(self.pod_bytes)

@@ -67,10 +67,18 @@ class OnNodeProxy:
         return cost
 
     def process_message(self, pod: str, service: str, bytes_out: int,
-                        bytes_in: int, mtls: bool = True):
-        """Process generator: redirect + L4 + crypto + observability."""
+                        bytes_in: int, mtls: bool = True, trace=None,
+                        parent_id: int = 1):
+        """Process generator: redirect + L4 + crypto + observability.
+
+        With a ``trace`` handle, the pass becomes an ``l4`` span under
+        ``parent_id``, carrying the per-pod byte labels — the causal
+        version of the flow records below.
+        """
         cost = self.data_path_cost_s(bytes_out + bytes_in, mtls=mtls)
-        yield from self.tier.work(cost)
+        yield from self.tier.work(cost, trace=trace, parent_id=parent_id,
+                                  name="onnode-l4", layer="l4", pod=pod,
+                                  bytes_out=bytes_out, bytes_in=bytes_in)
         self.record_flow(pod, service, bytes_out, bytes_in)
 
     def record_flow(self, pod: str, service: str, bytes_out: int,

@@ -31,6 +31,7 @@ from ..mesh.costs import DEFAULT_COSTS, MeshCostModel
 from ..mesh.http import HttpRequest, HttpResponse
 from ..mesh.proxy import Connection, ProxyTier
 from ..netsim import FiveTuple, ResolutionError
+from ..obs.trace import get_tracer
 from ..simcore import Simulator
 from .gateway import GatewayConfig, MeshGateway, NoBackendAvailable
 from .replica import ReplicaConfig
@@ -225,8 +226,20 @@ class ProxylessCanalMesh(ServiceMesh):
         """app → gateway (L7 + authz + TLS) → server app, no node proxy."""
         cluster = self._require_cluster()
         start = self.sim.now
+        tracer = get_tracer()
+        handle = None
+        if tracer is not None:
+            # Nothing can be collected on the user node, so the trace
+            # only ever sees the gateway's L7 view — the "partial"
+            # observability coverage of Appendix B, made visible.
+            handle = tracer.start("request", layer="request",
+                                  source="gateway-only",
+                                  service=connection.service,
+                                  start_s=start, mesh=self.name)
         server_pod = cluster.pods.get(connection.server_pod)
         if server_pod is None:
+            if handle is not None:
+                handle.finish(self.sim.now, status=503)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
         service_id = connection.meta["service_id"]
         flow: FiveTuple = connection.meta["flow"]
@@ -234,16 +247,22 @@ class ProxylessCanalMesh(ServiceMesh):
 
         throttle = self.gateway.throttles.get(service_id)
         if throttle is not None and not throttle.allow(self.sim.now):
+            if handle is not None:
+                handle.finish(self.sim.now, status=429)
             return HttpResponse(status=429, latency_s=self.sim.now - start)
         if not self.authorize(connection.service, request):
+            if handle is not None:
+                handle.finish(self.sim.now, status=403)
             return HttpResponse(status=403, latency_s=self.sim.now - start)
 
         yield self.sim.timeout(hop)
         try:
             result = yield self.sim.process(self.gateway.process_request(
                 service_id, flow, is_syn=connection.requests_sent == 0,
-                client_az=connection.meta["client_az"]))
+                client_az=connection.meta["client_az"], trace=handle))
         except (NoBackendAvailable, ResolutionError):
+            if handle is not None:
+                handle.finish(self.sim.now, status=503)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
         if result.redirection_hops:
             yield self.sim.timeout(result.redirection_hops * hop)
@@ -253,6 +272,8 @@ class ProxylessCanalMesh(ServiceMesh):
         connection.requests_sent += 1
         latency = self.sim.now - start
         self.latency.add(latency)
+        if handle is not None:
+            handle.finish(self.sim.now, status=200)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=result.replica.name)
 

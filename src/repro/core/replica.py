@@ -67,13 +67,25 @@ class Replica:
                                     name=f"replica-{self.name}")
         return self._cpu
 
-    def process_request(self, weight: float = 1.0):
-        """Process generator: execute one L7 request on this replica."""
+    def process_request(self, weight: float = 1.0, trace=None,
+                        parent_id: int = 1):
+        """Process generator: execute one L7 request on this replica.
+
+        With a ``trace`` handle, the replica's CPU occupancy (queueing
+        included) becomes an ``l7`` span under ``parent_id``.
+        """
         self.requests_served += 1
         cost = sample_service_time(self.sim.rng,
                                    self.config.request_cost_s * weight,
                                    self.config.request_cost_sigma)
+        if trace is None:
+            yield from self.cpu.execute(cost)
+            return
+        start = self.sim.now
         yield from self.cpu.execute(cost)
+        trace.add("replica-exec", "l7", start, self.sim.now,
+                  parent_id=parent_id, source=f"replica/{self.name}",
+                  cpu_s=cost)
 
     # -- fluid mode -----------------------------------------------------------
     def set_service_rps(self, service_id: int, rps: float,

@@ -55,29 +55,69 @@ class MtlsSession:
 def mtls_handshake(sim: Simulator, ca: CertificateAuthority,
                    client_cert: Certificate, server_cert: Certificate,
                    client_engine, server_engine, rtt_s: float,
-                   costs: CryptoCosts = DEFAULT_CRYPTO_COSTS):
+                   costs: CryptoCosts = DEFAULT_CRYPTO_COSTS,
+                   trace_sink: Optional[list] = None):
     """Process generator performing one mTLS handshake.
 
     Returns a :class:`HandshakeResult`. Both asymmetric operations run
     concurrently (each side computes while the other does), as in real
     TLS; the handshake completes when the slower side finishes.
+
+    ``trace_sink``, when given, receives one nested span spec (see
+    :meth:`repro.obs.trace.TraceHandle.add_tree`) decomposing the
+    handshake into hello / asymmetric-crypto / finished sub-spans.
+    Handshakes happen at connection setup, before any request trace
+    exists, so specs are *deferred*: the first request's trace adopts
+    them.
     """
     start = sim.now
     yield sim.timeout(rtt_s)  # ClientHello / ServerHello + certificates
+    hello_end = sim.now
 
     if not ca.verify(server_cert, sim.now):
+        if trace_sink is not None:
+            trace_sink.append(_handshake_spec(
+                client_cert.identity, server_cert.identity, start, sim.now,
+                [("tls-hello", start, hello_end)],
+                error="server certificate rejected"))
         return HandshakeResult(ok=False, latency_s=sim.now - start,
                                failure_reason="server certificate rejected")
     if not ca.verify(client_cert, sim.now):
+        if trace_sink is not None:
+            trace_sink.append(_handshake_spec(
+                client_cert.identity, server_cert.identity, start, sim.now,
+                [("tls-hello", start, hello_end)],
+                error="client certificate rejected"))
         return HandshakeResult(ok=False, latency_s=sim.now - start,
                                failure_reason="client certificate rejected")
 
     both = sim.all_of([client_engine.submit(), server_engine.submit()])
     yield both
+    asym_end = sim.now
     yield sim.timeout(rtt_s)  # Finished messages
 
+    if trace_sink is not None:
+        trace_sink.append(_handshake_spec(
+            client_cert.identity, server_cert.identity, start, sim.now,
+            [("tls-hello", start, hello_end),
+             ("tls-asym", hello_end, asym_end),
+             ("tls-finished", asym_end, sim.now)]))
     session = MtlsSession(client_identity=client_cert.identity,
                           server_identity=server_cert.identity,
                           established_at=sim.now, costs=costs)
     return HandshakeResult(ok=True, latency_s=sim.now - start,
                            session=session)
+
+
+def _handshake_spec(client_identity: str, server_identity: str,
+                    start_s: float, end_s: float, phases,
+                    **annotations) -> dict:
+    """A nested deferred-span spec for one handshake and its phases."""
+    return {
+        "name": "tls-handshake", "layer": "tls",
+        "start_s": start_s, "end_s": end_s, "source": client_identity,
+        "annotations": dict(annotations, server=server_identity),
+        "children": [{"name": name, "layer": "tls",
+                      "start_s": phase_start, "end_s": phase_end}
+                     for name, phase_start, phase_end in phases],
+    }

@@ -55,6 +55,7 @@ from .sidecar_problems import (
     table3_l7_adoption,
 )
 from .testbed import build_testbed, find_knee_rps, light_load_latency
+from .trace_breakdown import trace_breakdown
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "table1": table1_sidecar_resources,
@@ -88,6 +89,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig26": fig26_session_consistency,
     "fig27_28": fig27_28_offload_performance,
     "fig29_30": fig29_30_ebpf_performance,
+    "trace_breakdown": trace_breakdown,
 }
 
 #: Ablation studies of the design choices (not paper exhibits, but

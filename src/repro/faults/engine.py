@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 from ..core.failure import FailureInjector
 from ..obs.runtime import get_telemetry
+from ..obs.trace import get_tracer
 from ..simcore import Simulator
 from .audit import InvariantAuditor
 from .plan import Fault, FaultPlan, FaultPlanError
@@ -240,6 +241,12 @@ class FaultEngine:
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.inc(f"faults_{action}ed_total", kind=fault.kind)
+        tracer = get_tracer()
+        if tracer is not None and tracer.collector is not None:
+            # Annotate the fault onto the trace stream so analytics can
+            # line up injections with the first degraded trace.
+            tracer.collector.mark_fault(self.sim.now, action, fault.kind,
+                                        fault.target, detail)
         if self.auditor is not None:
             self.auditor.check(
                 context=f"{action}:{fault.kind}:{fault.target or '-'}")

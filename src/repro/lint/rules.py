@@ -74,6 +74,12 @@ class WallClockRule(Rule):
     #: in real time, outside any simulation).
     default_allowlist: Tuple[str, ...] = ("repro.obs", "repro.serve")
 
+    #: Carve-outs *inside* allowlisted packages that must still obey
+    #: sim-time discipline. Causal tracing records simulated timestamps
+    #: and samples from a derived seeded stream — a wall-clock read
+    #: there would silently break byte-identical --jobs sweeps.
+    default_denylist: Tuple[str, ...] = ("repro.obs.trace",)
+
     _CALLS = frozenset({
         "time.time", "time.time_ns",
         "time.perf_counter", "time.perf_counter_ns",
@@ -84,15 +90,24 @@ class WallClockRule(Rule):
         "datetime.datetime.today", "datetime.date.today",
     })
 
-    def __init__(self, allowlist: Optional[Tuple[str, ...]] = None):
+    def __init__(self, allowlist: Optional[Tuple[str, ...]] = None,
+                 denylist: Optional[Tuple[str, ...]] = None):
         self.allowlist = self.default_allowlist if allowlist is None \
             else allowlist
+        self.denylist = self.default_denylist if denylist is None \
+            else denylist
+
+    @staticmethod
+    def _matches(module: str, prefixes: Tuple[str, ...]) -> bool:
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in prefixes)
 
     def _allowlisted(self, module: Optional[str]) -> bool:
         if not module:
             return False
-        return any(module == prefix or module.startswith(prefix + ".")
-                   for prefix in self.allowlist)
+        if self._matches(module, self.denylist):
+            return False
+        return self._matches(module, self.allowlist)
 
     def check(self, module: ModuleSource,
               project: ProjectIndex) -> Iterable[Finding]:
@@ -437,9 +452,12 @@ class DynamicImportRule(Rule):
     #: Packages whose modules feed the result cache's import closure.
     #: ``repro.faults`` is included because chaos-aware exhibits import
     #: it — a dynamic import there would hide fault-subsystem changes
-    #: from every chaos exhibit's cache key.
+    #: from every chaos exhibit's cache key. ``repro.obs.trace`` is in
+    #: for the same reason: the trace_breakdown exhibit's findings are
+    #: a function of the tracer's sampling and analytics code.
     default_packages: Tuple[str, ...] = ("repro.experiments",
-                                         "repro.faults")
+                                         "repro.faults",
+                                         "repro.obs.trace")
 
     def __init__(self, packages: Optional[Tuple[str, ...]] = None):
         self.packages = self.default_packages if packages is None \

@@ -26,6 +26,7 @@ from typing import List, Optional
 from ..k8s import Cluster
 from ..netsim import Link
 from ..obs.runtime import get_telemetry
+from ..obs.trace import get_tracer
 from ..simcore import CpuResource, Resource, Simulator
 
 __all__ = [
@@ -185,16 +186,28 @@ class ControlPlane:
         """
         report = PushReport(started_at=self.sim.now)
         targets = self.targets_for_update(kind)
+        tracer = get_tracer()
+        handle = None
+        if tracer is not None:
+            plane = getattr(self, "kind", "generic")
+            handle = tracer.start(
+                "config-push", layer="controlplane",
+                source=f"controlplane/{plane}", start_s=self.sim.now,
+                kind=kind, targets=len(targets))
         done_events = []
         for target in targets:
             done = self.sim.event()
-            self.sim.process(self._configure_target(target, report, done),
-                             name=f"cfg-{target.name}")
+            self.sim.process(
+                self._configure_target(target, report, done, trace=handle),
+                name=f"cfg-{target.name}")
             done_events.append(done)
         if done_events:
             yield self.sim.all_of(done_events)
         report.targets = len(targets)
         report.finished_at = self.sim.now
+        if handle is not None:
+            handle.finish(self.sim.now, status="ok",
+                          total_bytes=report.total_bytes)
         self.updates_pushed += 1
         self.bytes_pushed_total += report.total_bytes
         telemetry = get_telemetry()
@@ -210,8 +223,9 @@ class ControlPlane:
         return report
 
     def _configure_target(self, target: ConfigTarget, report: PushReport,
-                          done) :
+                          done, trace=None):
         costs = self.costs
+        start = self.sim.now
         build_s = target.config_bytes * costs.build_cpu_per_byte_s
         push_s = target.config_bytes * costs.push_cpu_per_byte_s
         yield from self.controller_cpu.execute(build_s)
@@ -228,6 +242,12 @@ class ControlPlane:
         report.total_bytes += target.config_bytes
         report.build_cpu_s += build_s
         report.push_cpu_s += push_s
+        if trace is not None:
+            trace.add(f"configure-{target.kind}", "controlplane",
+                      start, self.sim.now,
+                      source=f"target/{target.name}",
+                      config_bytes=target.config_bytes,
+                      apply_s=target.apply_s)
         get_telemetry().inc("config_target_acks_total", proxy=target.kind)
         done.succeed()
 

@@ -18,6 +18,7 @@ from ..crypto import (
 )
 from ..k8s import Cluster, Container, Pod, ResourceRequest
 from ..netsim import LatencyModel
+from ..obs.trace import get_tracer
 from ..simcore import Simulator
 from .base import MeshError, ServiceMesh
 from .costs import DEFAULT_COSTS, MeshCostModel, sample_service_time
@@ -83,6 +84,9 @@ class IstioMesh(ServiceMesh):
         client_tier = self._tier_for(client_pod)
         server_tier = self._tier_for(server_pod)
         session = None
+        tracer = get_tracer()
+        trace_sink = ([] if tracer is not None and tracer.enabled
+                      else None)
         if self.mtls_enabled:
             rtt = self.latency_model.rtt(
                 self._location_of(client_pod), self._location_of(server_pod))
@@ -100,24 +104,44 @@ class IstioMesh(ServiceMesh):
                 self.sim, self.ca, client_cert, server_cert,
                 self._engines[client_pod.node_name],
                 self._engines[server_pod.node_name],
-                rtt_s=rtt, costs=self.costs.crypto))
+                rtt_s=rtt, costs=self.costs.crypto,
+                trace_sink=trace_sink))
             if not result.ok:
                 raise MeshError(f"handshake failed: {result.failure_reason}")
             session = result.session
         connection = Connection(client=client_pod.name, service=service,
                                 server_pod=server_pod.name,
                                 established_at=self.sim.now, session=session)
+        if trace_sink:
+            connection.meta["pending_spans"] = trace_sink
         return connection
 
     def request(self, connection: Connection, request: HttpRequest):
         """One request/response exchange through both sidecars."""
         cluster = self._require_cluster()
         start = self.sim.now
+        tracer = get_tracer()
+        handle = None
+        if tracer is not None:
+            handle = tracer.start("request", layer="request",
+                                  source=f"client/{connection.client}",
+                                  service=connection.service,
+                                  start_s=start, mesh=self.name)
+        if handle is not None:
+            pending = connection.meta.pop("pending_spans", None)
+            if pending:
+                handle.start_s = min(
+                    handle.start_s,
+                    min(spec["start_s"] for spec in pending))
+                for spec in pending:
+                    handle.add_tree(spec)
         client_pod = cluster.pods[connection.client]
         server_pod = cluster.pods.get(connection.server_pod)
         if server_pod is None:
             self.observe_request(503, self.sim.now - start,
                                  connection.service)
+            if handle is not None:
+                handle.finish(self.sim.now, status=503)
             return HttpResponse(status=503, latency_s=self.sim.now - start)
 
         crypto_bytes = request.total_bytes if self.mtls_enabled else 0
@@ -129,18 +153,33 @@ class IstioMesh(ServiceMesh):
                 self.sim.rng, self.costs.istio_sidecar_l7_s,
                 self.costs.istio_l7_sigma)
 
-        # Client sidecar: redirect out + L7 + encrypt.
-        yield from self._tier_for(client_pod).work(side_cost())
+        # Client sidecar: redirect out + L7 + encrypt. Both sidecar
+        # passes are full L7 proxies, so their spans land in the l7
+        # layer (the sidecar has no split l4/l7 like Canal).
+        yield from self._tier_for(client_pod).work(
+            side_cost(), trace=handle, name="sidecar-l7", layer="l7",
+            pod=client_pod.name, bytes_out=request.body_bytes,
+            bytes_in=request.response_bytes)
         yield self.sim.timeout(self.latency_model.one_way(
             self._location_of(client_pod), self._location_of(server_pod)))
         # Server sidecar: decrypt + L7 + authorization + redirect in.
         if not self.authorize(connection.service, request):
             self.observe_request(403, self.sim.now - start,
                                  connection.service)
+            if handle is not None:
+                handle.finish(self.sim.now, status=403)
             return HttpResponse(status=403, latency_s=self.sim.now - start)
-        yield from self._tier_for(server_pod).work(side_cost())
+        yield from self._tier_for(server_pod).work(
+            side_cost(), trace=handle, name="sidecar-l7", layer="l7",
+            pod=server_pod.name, bytes_out=request.response_bytes,
+            bytes_in=request.body_bytes)
         # The application itself.
+        app_start = self.sim.now
         yield self.sim.timeout(self.costs.app_service_time_s)
+        if handle is not None:
+            handle.add("app-exec", "app", app_start, self.sim.now,
+                       source=f"app/{server_pod.name}",
+                       pod=server_pod.name)
         # Response network hop (response-side proxy work is folded into
         # the per-side cost above).
         yield self.sim.timeout(self.latency_model.one_way(
@@ -148,6 +187,8 @@ class IstioMesh(ServiceMesh):
         connection.requests_sent += 1
         latency = self.sim.now - start
         self.observe_request(200, latency, connection.service)
+        if handle is not None:
+            handle.finish(self.sim.now, status=200)
         return HttpResponse(status=200, latency_s=latency,
                             served_by=server_pod.name)
 

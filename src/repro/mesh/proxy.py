@@ -32,8 +32,16 @@ class ProxyTier:
         self.on_user_cluster = on_user_cluster
         self.requests_processed = 0
 
-    def work(self, cpu_seconds: float):
-        """Process generator: hold one core for ``cpu_seconds``."""
+    def work(self, cpu_seconds: float, trace=None, parent_id: int = 1,
+             name: str = "proxy-work", layer: str = "l4", pod: str = "",
+             bytes_out: int = 0, bytes_in: int = 0):
+        """Process generator: hold one core for ``cpu_seconds``.
+
+        With a ``trace`` (an :class:`repro.obs.trace.TraceHandle`), the
+        whole occupancy — queueing for a core *plus* execution — is
+        recorded as one span under ``parent_id``, so tier contention is
+        visible in the per-layer latency waterfall.
+        """
         if cpu_seconds < 0:
             raise ValueError(f"negative work: {cpu_seconds}")
         self.requests_processed += 1
@@ -42,7 +50,15 @@ class ProxyTier:
             telemetry.inc("proxy_requests_total", tier=self.name)
             telemetry.observe("proxy_work_seconds", cpu_seconds,
                               tier=self.name)
+        if trace is None:
+            yield from self.cpu.execute(cpu_seconds)
+            return None
+        start = self.sim.now
         yield from self.cpu.execute(cpu_seconds)
+        return trace.add(name, layer, start, self.sim.now,
+                         parent_id=parent_id, source=self.name, pod=pod,
+                         bytes_out=bytes_out, bytes_in=bytes_in,
+                         cpu_s=cpu_seconds)
 
     def utilization(self, since: float = 0.0) -> float:
         return self.cpu.utilization(since)

@@ -8,6 +8,9 @@ this package is where our own run telemetry lives):
   mesh layer emits into (disabled, and nearly free, by default);
 * :class:`SimProfiler` — opt-in ``Simulator.step`` attribution of
   simulated and wall-clock time per process/event type;
+* :mod:`repro.obs.trace` — deterministic, disabled-by-default causal
+  tracing: :class:`Span` trees assembled by a ring-buffered
+  :class:`TraceCollector`, head-sampled by an ambient :class:`Tracer`;
 * exporters — Chrome ``trace_event`` JSON, Prometheus text snapshots,
   and JSON run reports (``python -m repro.experiments --report <dir>``).
 """
@@ -16,6 +19,7 @@ from .export import (
     chrome_trace,
     prometheus_text,
     run_report,
+    traces_json,
     write_run_artifacts,
 )
 from .profiler import SimProfiler
@@ -30,22 +34,53 @@ from .runtime import (
     use_telemetry,
 )
 from .telemetry import DEFAULT_BUCKETS, MetricFamily, Telemetry
+from .trace import (
+    Span,
+    Trace,
+    TraceCollector,
+    Tracer,
+    critical_path,
+    fault_detection_latency,
+    get_tracer,
+    layer_attribution,
+    register_collector,
+    set_tracer,
+    span_from_dict,
+    span_to_dict,
+    take_collectors,
+    use_tracer,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricFamily",
     "SimProfiler",
+    "Span",
     "Telemetry",
+    "Trace",
+    "TraceCollector",
+    "Tracer",
     "chrome_trace",
+    "critical_path",
     "disable_profiling",
     "enable_profiling",
+    "fault_detection_latency",
     "get_telemetry",
+    "get_tracer",
+    "layer_attribution",
     "new_profiler",
     "profiling_enabled",
     "prometheus_text",
+    "register_collector",
     "run_report",
     "set_telemetry",
+    "set_tracer",
+    "span_from_dict",
+    "span_to_dict",
+    "take_collectors",
     "take_profilers",
+    "traces_json",
     "use_telemetry",
+    "use_tracer",
     "write_run_artifacts",
 ]

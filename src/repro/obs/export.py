@@ -28,6 +28,7 @@ __all__ = [
     "chrome_trace",
     "prometheus_text",
     "run_report",
+    "traces_json",
     "write_run_artifacts",
 ]
 
@@ -38,25 +39,54 @@ def _span_events(traces: Iterable) -> List[dict]:
 
     Simulated seconds map to microseconds of trace time; each span
     source (onnode@w1, gateway/r1, ...) becomes its own thread row.
+    Causal spans additionally carry span/parent ids and annotations so
+    Perfetto's args panel shows the tree.
     """
     events: List[dict] = []
     tids: Dict[str, int] = {}
     for trace in traces:
         for span in trace.spans:
             tid = tids.setdefault(span.source, len(tids) + 1)
+            args = {"trace_id": trace.trace_id, "pod": span.pod,
+                    "bytes_out": span.bytes_out,
+                    "bytes_in": span.bytes_in}
+            span_id = getattr(span, "span_id", 0)
+            if span_id:
+                args["span_id"] = span_id
+                args["parent_id"] = getattr(span, "parent_id", 0)
+            for key, value in getattr(span, "annotations", ()):
+                args[f"a.{key}"] = value
+            name = getattr(span, "name", "")
             events.append({
-                "name": f"{span.layer}:{span.service or span.source}",
+                "name": name or f"{span.layer}:{span.service or span.source}",
                 "cat": span.layer,
                 "ph": "X",
                 "ts": span.start_s * 1e6,
                 "dur": (span.end_s - span.start_s) * 1e6,
                 "pid": "sim-traces",
                 "tid": tid,
-                "args": {"trace_id": trace.trace_id, "pod": span.pod,
-                         "bytes_out": span.bytes_out,
-                         "bytes_in": span.bytes_in},
+                "args": args,
             })
     return events
+
+
+def _fault_events(fault_marks: Iterable) -> List[dict]:
+    """Instant ("ph": "i") events for fault injections/recoveries.
+
+    Rendered as global vertical markers on the trace timeline so the
+    fault lines up visually with the spans it degraded.
+    """
+    return [{
+        "name": f"{mark['action']}:{mark['kind']}",
+        "cat": "fault",
+        "ph": "i",
+        "s": "g",
+        "ts": mark["t"] * 1e6,
+        "pid": "sim-traces",
+        "tid": 0,
+        "args": {"target": mark.get("target", ""),
+                 "detail": mark.get("detail", "")},
+    } for mark in fault_marks]
 
 
 def _profiler_events(profilers: Iterable) -> List[dict]:
@@ -89,11 +119,52 @@ def _profiler_events(profilers: Iterable) -> List[dict]:
     return events
 
 
-def chrome_trace(traces: Iterable = (), profilers: Iterable = ()) -> dict:
+def chrome_trace(traces: Iterable = (), profilers: Iterable = (),
+                 fault_marks: Iterable = ()) -> dict:
     """A ``chrome://tracing``-loadable JSON object for one run."""
     return {
         "displayTimeUnit": "ms",
-        "traceEvents": _span_events(traces) + _profiler_events(profilers),
+        "traceEvents": (_span_events(traces) + _profiler_events(profilers)
+                        + _fault_events(fault_marks)),
+    }
+
+
+def _span_dict(span) -> dict:
+    """JSON-friendly view of one span (legacy flat or causal)."""
+    record = {
+        "trace_id": span.trace_id, "source": span.source,
+        "layer": span.layer, "start_s": span.start_s, "end_s": span.end_s,
+        "pod": span.pod, "service": span.service,
+        "bytes_out": span.bytes_out, "bytes_in": span.bytes_in,
+    }
+    span_id = getattr(span, "span_id", 0)
+    if span_id:
+        record["span_id"] = span_id
+        record["parent_id"] = getattr(span, "parent_id", 0)
+        record["name"] = getattr(span, "name", "")
+    annotations = dict(getattr(span, "annotations", ()))
+    if annotations:
+        record["annotations"] = annotations
+    return record
+
+
+def traces_json(traces: Iterable = (), fault_marks: Iterable = ()) -> dict:
+    """The raw-trace JSON export: spans grouped per trace + fault marks.
+
+    This is the machine-readable companion of :func:`chrome_trace` — the
+    view ``repro.serve``'s ``GET /jobs/{id}/trace`` returns and the
+    ``*.traces.json`` artifact stores.
+    """
+    return {
+        "traces": [{
+            "trace_id": trace.trace_id,
+            "start_s": trace.start_s,
+            "end_s": trace.end_s,
+            "coverage": trace.coverage,
+            "layers": trace.layers(),
+            "spans": [_span_dict(span) for span in trace.spans],
+        } for trace in traces],
+        "fault_marks": [dict(mark) for mark in fault_marks],
     }
 
 
@@ -191,10 +262,18 @@ def write_run_artifacts(directory: str, exp_id: str, result=None,
                         telemetry=None, profilers: Iterable = (),
                         traces: Iterable = (),
                         meta: Optional[dict] = None,
-                        faults: Iterable = ()) -> Dict[str, str]:
-    """Write the three artifacts for one run; returns name -> path."""
+                        faults: Iterable = (),
+                        fault_marks: Iterable = ()) -> Dict[str, str]:
+    """Write the artifacts for one run; returns name -> path.
+
+    ``traces`` additionally produces a raw ``*.traces.json`` export next
+    to the Chrome ``*.trace.json`` (the latter always exists because it
+    also carries profiler timelines).
+    """
     os.makedirs(directory, exist_ok=True)
     profilers = list(profilers)
+    traces = list(traces)
+    fault_marks = list(fault_marks)
     paths = {
         "report": os.path.join(directory, f"{exp_id}.report.json"),
         "metrics": os.path.join(directory, f"{exp_id}.prom"),
@@ -208,5 +287,9 @@ def write_run_artifacts(directory: str, exp_id: str, result=None,
         handle.write(prometheus_text(telemetry)
                      if telemetry is not None else "")
     with open(paths["trace"], "w") as handle:
-        json.dump(chrome_trace(traces, profilers), handle)
+        json.dump(chrome_trace(traces, profilers, fault_marks), handle)
+    if traces:
+        paths["traces"] = os.path.join(directory, f"{exp_id}.traces.json")
+        with open(paths["traces"], "w") as handle:
+            json.dump(traces_json(traces, fault_marks), handle, indent=2)
     return paths

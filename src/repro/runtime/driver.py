@@ -65,6 +65,7 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
         disable_profiling,
         enable_profiling,
         set_telemetry,
+        take_collectors,
         take_profilers,
         write_run_artifacts,
     )
@@ -74,6 +75,7 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
     enable_profiling(keep_timeline=True)
     take_profilers()  # drop any profilers a previous exhibit leaked
     take_timelines()  # likewise for leaked fault timelines
+    take_collectors()  # and leaked trace collectors
     try:
         if spec.use_cache:
             result, _hit = cached_run(spec.exp_id, cache_dir=spec.cache_dir,
@@ -92,11 +94,21 @@ def run_exhibit(spec: RunSpec) -> ExhibitRun:
     faults = sorted((entry for timeline in take_timelines()
                      for entry in timeline),
                     key=lambda entry: entry.get("t", 0.0))
+    # Trace collectors registered during the run (exhibits that trace
+    # re-record pool-worker spans into a collector they register here).
+    collectors = take_collectors()
+    traces = [trace for collector in collectors
+              for trace in collector.traces()]
+    fault_marks = sorted((mark for collector in collectors
+                          for mark in collector.fault_marks),
+                         key=lambda mark: mark.get("t", 0.0))
     paths = write_run_artifacts(
         spec.report_dir, spec.exp_id, result=result, telemetry=telemetry,
-        profilers=profilers, faults=faults,
+        profilers=profilers, faults=faults, traces=traces,
+        fault_marks=fault_marks,
         meta={"exp_id": spec.exp_id, "wall_clock_s": elapsed,
               "simulators_profiled": len(profilers),
-              "faults_recorded": len(faults)})
+              "faults_recorded": len(faults),
+              "traces_recorded": len(traces)})
     return ExhibitRun(spec.exp_id, result, elapsed, cache_hit=False,
                       artifact_paths=paths)

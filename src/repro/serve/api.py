@@ -6,6 +6,7 @@ Routes::
     GET  /jobs                list jobs (submission order)
     GET  /jobs/{id}           one job's state/result/artifact index
     GET  /jobs/{id}/events    live progress as Server-Sent Events
+    GET  /jobs/{id}/trace     collected causal traces (report jobs)
     GET  /artifacts/{id}/{f}  a run artifact written by a report job
     GET  /healthz             liveness + drain state + job counts
     GET  /metrics             Prometheus text (repro.obs exporter)
@@ -191,6 +192,10 @@ class ServeAPI:
             self._expect(method, "GET", path)
             await self._stream_events(parts[1], headers, writer)
             return "/jobs/{id}/events", None
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            self._expect(method, "GET", path)
+            return "/jobs/{id}/trace", await loop.run_in_executor(
+                None, self._job_trace, parts[1])
         if parts and parts[0] == "artifacts":
             self._expect(method, "GET", path)
             return "/artifacts", await loop.run_in_executor(
@@ -244,6 +249,34 @@ class ServeAPI:
         if job is None:
             raise _HTTPError(404, f"unknown job {job_id!r}")
         return _json_response(200, job.to_json())
+
+    def _job_trace(self, job_id: str) -> bytes:
+        """Collected causal traces for one job, keyed by exhibit.
+
+        Reads the ``*.traces.json`` artifacts the job's report runs
+        wrote (404 when the job never traced anything — non-report jobs
+        or exhibits that don't enable the tracer).
+        """
+        job = self.store.get(job_id)
+        if job is None:
+            raise _HTTPError(404, f"unknown job {job_id!r}")
+        root = os.path.realpath(self.scheduler.artifacts_root())
+        traces: Dict[str, object] = {}
+        for name, url in sorted(job.artifacts.items()):
+            if not name.endswith(".traces"):
+                continue
+            exp_id = name[:-len(".traces")]
+            candidate = os.path.realpath(
+                os.path.join(root, *url.split("/")[2:]))
+            if not candidate.startswith(root + os.sep) \
+                    or not os.path.isfile(candidate):
+                continue
+            with open(candidate) as handle:
+                traces[exp_id] = json.load(handle)
+        if not traces:
+            raise _HTTPError(404, f"job {job_id!r} recorded no traces")
+        return _json_response(200, {
+            "job_id": job_id, "state": job.state, "traces": traces})
 
     def _artifact(self, parts) -> bytes:
         root = os.path.realpath(self.scheduler.artifacts_root())

@@ -127,6 +127,12 @@ class ServeClient:
     def job(self, job_id: str) -> Dict[str, object]:
         return self._json("GET", f"/jobs/{job_id}")
 
+    def trace(self, job_id: str) -> Dict[str, object]:
+        """GET /jobs/{id}/trace — the causal traces a report job
+        collected, keyed by exhibit id. 404s when the job recorded
+        none (non-report jobs, or exhibits that never trace)."""
+        return self._json("GET", f"/jobs/{job_id}/trace")
+
     def jobs(self) -> List[Dict[str, object]]:
         return self._json("GET", "/jobs")["jobs"]
 

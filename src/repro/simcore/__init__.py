@@ -19,6 +19,7 @@ from .events import (
 )
 from .metrics import Counter, Summary, TimeSeries, cdf, percentile
 from .resources import CpuResource, Request, Resource, Store
+from .rng import derived_stream
 from .sim import Simulator
 
 __all__ = [
@@ -39,5 +40,6 @@ __all__ = [
     "TimeSeries",
     "Timeout",
     "cdf",
+    "derived_stream",
     "percentile",
 ]

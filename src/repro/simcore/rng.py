@@ -16,7 +16,21 @@ __all__ = [
     "pareto_bounded",
     "jittered",
     "make_sampler",
+    "derived_stream",
 ]
+
+
+def derived_stream(seed, label: str) -> random.Random:
+    """An independent ``random.Random`` derived from ``(seed, label)``.
+
+    Side channels (trace sampling, diagnostics) must not consume draws
+    from the simulator's own :attr:`~repro.simcore.Simulator.rng` —
+    that would change model behavior whenever the side channel toggles.
+    Deriving a labeled stream from the same seed keeps them independent
+    *and* reproducible: equal (seed, label) → an identical stream on
+    every platform and at any ``--jobs`` level.
+    """
+    return random.Random(f"{label}:{seed!r}")
 
 
 def exponential(rng: random.Random, mean: float) -> float:

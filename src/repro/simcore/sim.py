@@ -47,6 +47,10 @@ class Simulator:
 
     def __init__(self, seed: Optional[int] = 0):
         self.now: float = 0.0
+        #: The construction seed, kept so subsystems can derive their
+        #: own independent streams (rng.derived_stream) — e.g. trace
+        #: sampling — without consuming draws from :attr:`rng`.
+        self.seed = seed
         self.rng = random.Random(seed)
         self._heap: list = []
         #: Total agenda entries ever scheduled — also the heap

@@ -21,13 +21,14 @@ class TestHarness:
         }
         assert expected <= set(EXPERIMENTS)
         # Everything beyond the paper exhibits is an ablation study, a
-        # scripted production case, a robustness study, or the chaos
-        # exhibit.
+        # scripted production case, a robustness study, or the chaos /
+        # causal-tracing exhibits.
         from repro.experiments import (ABLATIONS, CASES_EXPERIMENTS,
                                        SENSITIVITY)
         assert (set(EXPERIMENTS) - expected
                 == set(ABLATIONS) | set(CASES_EXPERIMENTS)
-                | set(SENSITIVITY) | {"fig8_recovery"})
+                | set(SENSITIVITY)
+                | {"fig8_recovery", "trace_breakdown"})
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

@@ -68,6 +68,21 @@ class TestDet001WallClock:
         found = [f for f in lint_files([profiler]) if f.rule == "DET001"]
         assert found == []  # uses perf_counter but lives in repro.obs
 
+    def test_denylist_overrides_allowlist(self):
+        # repro.obs.trace sits under the repro.obs allowlist prefix but
+        # records sim time, so wall-clock use there IS a finding.
+        source_module = ModuleSource(fixture("det001_wallclock.py"),
+                                     module="repro.obs.trace")
+        rule = get_rule("DET001")
+        found = [f for f in rule.check(source_module, ProjectIndex())
+                 if not source_module.is_suppressed(f.line, f.rule)]
+        assert [f.line for f in found] == [9, 13, 17]
+
+    def test_trace_module_in_src_is_clean(self):
+        trace = os.path.join(SRC_REPRO, "obs", "trace.py")
+        found = [f for f in lint_files([trace]) if f.rule == "DET001"]
+        assert found == []  # denylisted, and actually wall-clock free
+
 
 class TestDet002Random:
     def test_positive_lines(self):
@@ -152,6 +167,13 @@ class TestCache001DynamicImports:
         # so its modules get the same dynamic-import scrutiny.
         found = findings_for("cache001_dynamic.py", "CACHE001",
                              module="repro.faults.fixture")
+        assert [f.line for f in found] == [7, 15]
+
+    def test_rule_covers_trace_module(self):
+        # Traces ride the cached report path too (write_run_artifacts
+        # serializes them), so repro.obs.trace gets the same scrutiny.
+        found = findings_for("cache001_dynamic.py", "CACHE001",
+                             module="repro.obs.trace")
         assert [f.line for f in found] == [7, 15]
 
 

@@ -351,6 +351,33 @@ class TestObservability:
         assert health["state"] == "serving"
         assert health["jobs"]["done"] == 1
 
+    def test_trace_endpoint_serves_collected_traces(self, server):
+        job = server.client.submit({"kind": "exhibit",
+                                    "exhibit": "trace_breakdown",
+                                    "report": True})
+        done = server.client.wait(job["id"], timeout=120)
+        assert done["state"] == "done"
+        assert "trace_breakdown.traces" in done["artifacts"]
+        payload = server.client.trace(job["id"])
+        assert payload["job_id"] == job["id"]
+        traces = payload["traces"]["trace_breakdown"]["traces"]
+        assert traces and all(t["spans"] for t in traces)
+        coverages = {t["coverage"] for t in traces}
+        assert "full" in coverages  # at least one e2e canal trace
+        assert payload["traces"]["trace_breakdown"]["fault_marks"]
+
+    def test_trace_endpoint_404s_without_traces(self, server):
+        with pytest.raises(ServeError) as err:
+            server.client.trace("nope")
+        assert err.value.status == 404
+        # A report job whose exhibit never traces also 404s.
+        job = server.client.submit({"kind": "exhibit", "exhibit": "table1",
+                                    "report": True})
+        server.client.wait(job["id"], timeout=120)
+        with pytest.raises(ServeError) as err:
+            server.client.trace(job["id"])
+        assert err.value.status == 404
+
     def test_artifact_traversal_is_blocked(self, server):
         os.makedirs(server.scheduler.artifacts_root(), exist_ok=True)
         with pytest.raises(ServeError) as excinfo:
