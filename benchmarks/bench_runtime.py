@@ -6,16 +6,22 @@ Plain script (not pytest — ``testpaths`` keeps it out of tier-1)::
     PYTHONPATH=src python benchmarks/bench_runtime.py
     PYTHONPATH=src python benchmarks/bench_runtime.py --quick --jobs 2
 
-Writes ``BENCH_runtime.json`` (override with ``--out``) with three
-sections:
+Appends to the committed ``BENCH_runtime.json`` perf trajectory
+(override with ``--out``; see ``benchlib`` for the document shape).
+``last_run`` holds three sections:
 
 * ``simcore`` — events/sec on three micro-workloads (pure timeout
   chains, process churn with interrupts, AnyOf fan-out). These gate the
-  hot-path optimization: the PR's target is >= 15% over the seed.
+  hot-path optimization and feed the trajectory ``entries`` the CI
+  ``perf-gate`` job diffs against fresh runs.
 * ``sweep`` — wall-clock for a set of exhibits run serially and under
   ``--jobs N`` (point-level for single exhibits, exhibit-level for the
   batch), plus the speedup ratio.
 * ``cache`` — cold-compute vs warm-load timing for one exhibit.
+
+Full-scale runs (no ``--quick``) append one trajectory entry per
+simcore scenario; quick runs never touch the trajectory (their rates
+are not comparable to full-scale baselines).
 """
 
 import argparse
@@ -29,6 +35,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+import benchlib  # noqa: E402
 from repro.runtime import (  # noqa: E402
     RunSpec,
     SweepExecutor,
@@ -96,12 +103,19 @@ def _bench_anyof(n: int, fan: int = 8) -> float:
     return sim._sequence / (time.perf_counter() - started)
 
 
+#: (scenario, fn, full-scale n) — the perf gate re-runs these at full
+#: scale and compares normalized rates against the committed trajectory.
+GATE_SCENARIOS = (
+    ("timeout_chain", _bench_timeouts, 600_000),
+    ("process_churn", _bench_churn, 180_000),
+    ("anyof_fanout", _bench_anyof, 90_000),
+)
+
+
 def bench_simcore(quick: bool) -> dict:
-    scale = 1 if quick else 3
     out = {}
-    for name, fn, n in (("timeout_chain", _bench_timeouts, 200_000 * scale),
-                        ("process_churn", _bench_churn, 60_000 * scale),
-                        ("anyof_fanout", _bench_anyof, 30_000 * scale)):
+    for name, fn, full_n in GATE_SCENARIOS:
+        n = full_n // 3 if quick else full_n
         rates = [fn(n) for _ in range(2 if quick else 3)]
         out[name] = {"events_per_sec": round(max(rates)), "n": n}
         print(f"  simcore/{name}: {max(rates):,.0f} events/s")
@@ -184,11 +198,16 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="parallel jobs for the sweep section "
                              "(0 = all cores)")
-    parser.add_argument("--out", default="BENCH_runtime.json",
-                        help="output JSON path")
+    parser.add_argument("--out", default=None,
+                        help="trajectory path (default: repo "
+                             "BENCH_runtime.json)")
     options = parser.parse_args(argv)
     jobs = options.jobs or multiprocessing.cpu_count()
+    root = benchlib.repo_root()
+    out_path = options.out or os.path.join(root, "BENCH_runtime.json")
 
+    calib = benchlib.calibrate()
+    print(f"calibration: {calib:,.0f} ops/s")
     print("simcore hot path:")
     simcore = bench_simcore(options.quick)
     print("sweep executor:")
@@ -196,7 +215,12 @@ def main(argv=None) -> int:
     print("result cache:")
     cache = bench_cache()
 
+    sha = benchlib.git_sha(root)
+    date = benchlib.utc_date()
     report = {
+        "git_sha": sha,
+        "date": date,
+        "calib_ops_per_sec": round(calib),
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -207,10 +231,20 @@ def main(argv=None) -> int:
         "sweep": sweep,
         "cache": cache,
     }
-    with open(options.out, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {options.out}")
+    if options.quick:
+        # Quick rates are not comparable to full-scale baselines; print
+        # the report but leave the committed trajectory untouched.
+        print(json.dumps(report, indent=2, sort_keys=True))
+        print("quick run: trajectory not updated")
+        return 0
+    entries = [
+        {"git_sha": sha, "date": date, "scenario": name,
+         "events_per_sec": result["events_per_sec"],
+         "calib_ops_per_sec": round(calib)}
+        for name, result in simcore.items()
+    ]
+    benchlib.append_trajectory(out_path, entries, report)
+    print(f"wrote {out_path}")
     return 0
 
 

@@ -17,6 +17,10 @@ is structurally exposed to):
 * **CACHE001** — dynamic imports inside ``repro.experiments`` are
   invisible to the cache's static import-closure walker, making cache
   keys unsound.
+* **SLAB001** — recycling an event onto a slab free list without
+  resetting its ``callbacks`` lets the next ``timeout()`` hand a model
+  an object that still fires its previous life's callbacks (the PR 5
+  injector-idempotence bug class, applied to the simcore slab).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from .framework import Finding, ModuleSource, ProjectIndex, Rule, register
 __all__ = [
     "BlockingSimProcessRule",
     "DynamicImportRule",
+    "SlabRecycleRule",
     "UnorderedIterationRule",
     "UnpicklableSweepTargetRule",
     "UnseededRandomRule",
@@ -78,7 +83,12 @@ class WallClockRule(Rule):
     #: sim-time discipline. Causal tracing records simulated timestamps
     #: and samples from a derived seeded stream — a wall-clock read
     #: there would silently break byte-identical --jobs sweeps.
-    default_denylist: Tuple[str, ...] = ("repro.obs.trace",)
+    #: ``repro.simcore.agenda`` is pinned here explicitly (it is not
+    #: under any allowlist prefix today): the agenda engines order the
+    #: entire simulation, so they must stay wall-clock-free even if
+    #: ``repro.simcore`` ever earns an allowlist entry.
+    default_denylist: Tuple[str, ...] = ("repro.obs.trace",
+                                         "repro.simcore.agenda")
 
     _CALLS = frozenset({
         "time.time", "time.time_ns",
@@ -455,9 +465,14 @@ class DynamicImportRule(Rule):
     #: from every chaos exhibit's cache key. ``repro.obs.trace`` is in
     #: for the same reason: the trace_breakdown exhibit's findings are
     #: a function of the tracer's sampling and analytics code.
+    #: ``repro.simcore`` is in because *every* exhibit's cache entry is
+    #: a function of the simulation kernel (agenda engines included):
+    #: a dynamic import there would hide engine changes from every
+    #: cache key in the repository.
     default_packages: Tuple[str, ...] = ("repro.experiments",
                                          "repro.faults",
-                                         "repro.obs.trace")
+                                         "repro.obs.trace",
+                                         "repro.simcore")
 
     def __init__(self, packages: Optional[Tuple[str, ...]] = None):
         self.packages = self.default_packages if packages is None \
@@ -482,3 +497,87 @@ class DynamicImportRule(Rule):
                          "exhibit's cache key will not change when the "
                          "imported module does"),
                 fix_hint=self.fix_hint)
+
+
+@register
+class SlabRecycleRule(Rule):
+    """SLAB001: slab-recycled objects must have ``callbacks`` reset."""
+
+    id = "SLAB001"
+    severity = "error"
+    summary = ("object recycled onto a slab free list without its "
+               "callbacks being reset in the same function")
+    fix_hint = ("assign a cleared callbacks list to the object before "
+                "the slab append so the next allocation cannot fire a "
+                "previous life's callbacks")
+
+    #: Packages that maintain slab free lists. The simulator recycles
+    #: drained Timeout events through ``Simulator._timeout_slab``; an
+    #: append that skips the ``callbacks`` reset hands the *next*
+    #: ``timeout()`` caller an event that still fires its previous
+    #: life's callbacks — the PR 5 injector-idempotence bug class.
+    default_packages: Tuple[str, ...] = ("repro.simcore",)
+
+    def __init__(self, packages: Optional[Tuple[str, ...]] = None):
+        self.packages = self.default_packages if packages is None \
+            else packages
+
+    def _applies(self, module: Optional[str]) -> bool:
+        if not module:
+            return False
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in self.packages)
+
+    @staticmethod
+    def _is_slab(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id.endswith("slab")
+        if isinstance(node, ast.Attribute):
+            return node.attr.endswith("slab")
+        return False
+
+    @staticmethod
+    def _resets_callbacks(scope: ast.AST, name: str) -> bool:
+        """True if ``scope`` assigns ``<name>.callbacks`` anywhere."""
+        def hits(target: ast.expr) -> bool:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                return any(hits(element) for element in target.elts)
+            return (isinstance(target, ast.Attribute)
+                    and target.attr == "callbacks"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == name)
+
+        for node in _walk_own(scope):
+            if isinstance(node, ast.Assign) and \
+                    any(hits(target) for target in node.targets):
+                return True
+        return False
+
+    def check(self, module: ModuleSource,
+              project: ProjectIndex) -> Iterable[Finding]:
+        if module.tree is None or not self._applies(module.module):
+            return
+        parents = _parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "append"
+                    and self._is_slab(node.func.value)
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Name)):
+                continue
+            recycled = node.args[0].id
+            scope: Optional[ast.AST] = node
+            while scope is not None and not isinstance(
+                    scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = parents.get(scope)
+            if scope is None:
+                scope = module.tree
+            if self._resets_callbacks(scope, recycled):
+                continue
+            yield self.finding(
+                module, node,
+                f"{recycled!r} is recycled onto a slab free list but "
+                f"{recycled}.callbacks is never reset in this "
+                f"function; the next allocation from the slab will "
+                f"fire the previous life's callbacks")

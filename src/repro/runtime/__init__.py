@@ -21,6 +21,7 @@ from .cache import (
     module_closure,
 )
 from .driver import ExhibitRun, RunSpec, run_exhibit
+from .warmstart import WarmStart, warm_start
 from .sweep import (
     SweepExecutor,
     SweepPointError,
@@ -39,6 +40,7 @@ __all__ = [
     "RunSpec",
     "SweepExecutor",
     "SweepPointError",
+    "WarmStart",
     "cached_run",
     "default_jobs",
     "exhibit_fingerprint",
@@ -49,4 +51,5 @@ __all__ = [
     "sweep_imap",
     "sweep_map",
     "use_executor",
+    "warm_start",
 ]

@@ -227,11 +227,15 @@ class ResultCache:
 
 
 def cached_run(exp_id: str, cache_dir: Optional[str] = None,
-               refresh: bool = False):
+               refresh: bool = False, variant: str = ""):
     """Run one exhibit through the cache.
 
     Returns ``(result, hit)``. ``refresh`` skips the read (but still
     stores), for runs that must actually execute — e.g. ``--report``.
+    ``variant`` distinguishes alternate run modes of the same exhibit
+    in the cache key (it feeds ``exhibit_fingerprint``'s ``extra``) —
+    notably warm-started sweeps (``WarmStart.variant``), whose results
+    must never satisfy a cold run or vice versa.
 
     Exhibits whose import closure contains dynamic imports (CACHE001)
     bypass the cache entirely: the fingerprint cannot see what they
@@ -260,9 +264,9 @@ def cached_run(exp_id: str, cache_dir: Optional[str] = None,
         return run(exp_id), False
     cache = ResultCache(cache_dir)
     if not refresh:
-        hit = cache.load(exp_id)
+        hit = cache.load(exp_id, extra=variant)
         if hit is not None:
             return hit, True
     result = run(exp_id)
-    cache.store(exp_id, result)
+    cache.store(exp_id, result, extra=variant)
     return result, False

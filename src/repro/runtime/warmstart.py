@@ -1,0 +1,119 @@
+"""Warm-start sweeps: snapshot a warmed-up simulator, fork per point.
+
+Many exhibits sweep a parameter whose effect only matters *after* the
+mesh has reached steady state (connection pools filled, sessions
+established, health state converged). Re-simulating that warm-up for
+every sweep point is pure waste: the warm-up is identical across points
+by construction. A :class:`WarmStart` runs the warm-up **once**, pickles
+the whole simulator (clock + rng + agenda + world — see
+``Simulator.snapshot``), and restores an independent copy per point::
+
+    ws = warm_start(build_world, until=WARMUP_S)     # simulate once
+    results = ws.map(measure_point, rps_grid)        # fork per point
+
+``map``/``imap`` go through the ambient sweep executor
+(:mod:`repro.runtime.sweep`), so warm-started sweeps parallelize across
+cores exactly like cold ones and return results in point order. The
+point function receives a **fresh restored simulator** plus the point
+value; mutations never leak between points because every restore is an
+independent deep copy.
+
+Cache-key interaction
+---------------------
+A warm-started run of an exhibit is *not* the same computation as a
+cold run: results may differ in rng draw order relative to a cold
+simulation of the same horizon. Exhibits that adopt warm starts must
+therefore carry the snapshot identity into the result-cache key:
+:attr:`WarmStart.variant` is a stable digest string
+(``"warm:<sha256 prefix>"``) meant to be passed as ``RunSpec.variant``
+/ ``cached_run(variant=...)``, which lands in
+``exhibit_fingerprint(extra=...)``. Forked and cold results then cache
+under distinct keys and can never satisfy each other.
+
+The warm-up factory must build a *snapshot-eligible* world: everything
+scheduled through callbacks and direct calls, no generator-driven
+processes (``Simulator.snapshot`` raises ``SimulationError``
+otherwise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from ..simcore import Simulator
+from .sweep import sweep_imap, sweep_map
+
+__all__ = ["WarmStart", "warm_start"]
+
+
+class _WarmPoint:
+    """Picklable wrapper: restore the snapshot, run one sweep point.
+
+    Travels to pool workers like ``sweep._PointCall``; the payload rides
+    along so workers restore locally instead of re-simulating warm-up.
+    """
+
+    __slots__ = ("payload", "fn")
+
+    def __init__(self, payload: bytes, fn: Callable[[Simulator, Any], Any]):
+        self.payload = payload
+        self.fn = fn
+
+    def __call__(self, point: Any) -> Any:
+        return self.fn(pickle.loads(self.payload), point)
+
+
+class WarmStart:
+    """A reusable snapshot of a warmed-up :class:`Simulator`.
+
+    Construct via :func:`warm_start` (factory + horizon) or directly
+    from an already-warm simulator. The snapshot is taken eagerly at
+    construction; the source simulator may be discarded or mutated
+    afterwards without affecting forks.
+    """
+
+    def __init__(self, sim: Simulator):
+        self._payload = sim.snapshot()
+        #: sha256 of the snapshot payload: two warm starts with the
+        #: same digest restore byte-identical simulators.
+        self.digest = hashlib.sha256(self._payload).hexdigest()
+
+    @property
+    def variant(self) -> str:
+        """Cache-key variant tag for runs built on this snapshot."""
+        return f"warm:{self.digest[:16]}"
+
+    @property
+    def payload_size(self) -> int:
+        """Snapshot size in bytes (each pooled point ships one copy)."""
+        return len(self._payload)
+
+    def fork(self) -> Simulator:
+        """An independent simulator restored from the snapshot."""
+        return pickle.loads(self._payload)
+
+    def map(self, fn: Callable[[Simulator, Any], Any],
+            points: Iterable[Any]) -> List[Any]:
+        """``[fn(fork(), p) for p in points]`` on the ambient executor."""
+        return sweep_map(_WarmPoint(self._payload, fn), points)
+
+    def imap(self, fn: Callable[[Simulator, Any], Any],
+             points: Iterable[Any]) -> Iterator[Any]:
+        """Ordered, possibly lazy iterator form of :meth:`map`."""
+        return sweep_imap(_WarmPoint(self._payload, fn), points)
+
+
+def warm_start(factory: Callable[[], Simulator],
+               until: Optional[float] = None) -> WarmStart:
+    """Build a world, simulate its warm-up once, and snapshot it.
+
+    ``factory`` returns a fresh simulator with the world attached;
+    ``until`` (if given) is the warm-up horizon it is run to before the
+    snapshot is taken.
+    """
+    sim = factory()
+    if until is not None:
+        sim.run(until=until)
+    return WarmStart(sim)

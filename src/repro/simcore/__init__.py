@@ -19,15 +19,24 @@ from .events import (
 )
 from .metrics import Counter, Summary, TimeSeries, cdf, percentile
 from .resources import CpuResource, Request, Resource, Store
+from .agenda import CalendarAgenda, HeapAgenda
 from .rng import derived_stream
-from .sim import Simulator
+from .sim import (
+    EmptySchedule,
+    Simulator,
+    default_agenda_kind,
+    set_default_agenda_kind,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarAgenda",
     "Counter",
     "CpuResource",
+    "EmptySchedule",
     "Event",
+    "HeapAgenda",
     "Interrupt",
     "PENDING",
     "Process",
@@ -40,6 +49,8 @@ __all__ = [
     "TimeSeries",
     "Timeout",
     "cdf",
+    "default_agenda_kind",
     "derived_stream",
     "percentile",
+    "set_default_agenda_kind",
 ]

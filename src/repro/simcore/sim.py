@@ -1,33 +1,115 @@
 """The simulation kernel: a time-ordered agenda of events.
 
-:class:`Simulator` owns the clock, the event heap, and a seeded random
-number generator, so that every experiment in this repository is
+:class:`Simulator` owns the clock, the event agenda, and a seeded
+random number generator, so that every experiment in this repository is
 deterministic given its seed.
 
 The agenda holds ``(when, seq, call, event)`` tuples. ``seq`` is a
-strictly increasing tie-breaker, so heap ordering never compares the
+strictly increasing tie-breaker, so agenda ordering never compares the
 last two fields. ``call is None`` marks an ordinary event whose
 ``callbacks`` the loop drains; otherwise the entry is a *direct call*
 (``call(event)``) — the allocation-free path used for process
 bootstraps, late callbacks, and interrupts (see ``events.py``).
+
+Two interchangeable agenda engines (see ``agenda.py``) produce
+byte-identical event order:
+
+* ``"calendar"`` — a self-resizing calendar queue with a sorted
+  far-future spill list: amortized O(1) push/pop, and the open bucket
+  is a pre-sorted list, so ``run()`` drains same-timestamp batches
+  (mesh config pushes, AVX-512 crypto batches) writing ``self.now``
+  once per distinct timestamp. Fastest in the heavy-traffic regime
+  (hundreds of thousands of pending events), where heapq's O(log n)
+  sifts dominate.
+* ``"heap"`` — the ``heapq`` reference implementation: C-implemented
+  push/pop that pure-Python bucket bookkeeping cannot beat while the
+  agenda is small. Kept as the oracle for the equivalence tests and
+  the benchmark baseline.
+
+The default is ``"auto"``: start on the heap engine and migrate —
+once, irreversibly, O(n log n) — to the calendar engine the moment the
+pending count crosses the fleet-scale threshold
+(``_AUTO_MIGRATE``). Because both engines pop the exact same ``(when,
+seq)`` order, the migration point is invisible in event order: light
+exhibits keep heapq's small-agenda speed, fleet-scale runs
+(ROADMAP item 1: O(10k) replicas, O(1M) sessions) get calendar
+throughput, and all three kinds replay identically.
+
+Pick per simulator (``Simulator(seed, agenda="heap")``), per process
+(:func:`set_default_agenda_kind`), or via ``REPRO_SIM_AGENDA``.
 
 ``run()`` inlines the event loop rather than calling :meth:`step` per
 event: the loop is the hottest code in the repository and the per-event
 method call, attribute reloads, and profiler check measurably cap
 events/sec. :meth:`step` remains the single-event API (and the only
 path when a profiler is attached).
+
+Fired :class:`Timeout` objects that nothing else references are
+recycled onto a per-simulator slab (``_timeout_slab``) and reused by
+the next ``timeout()`` call, so steady-state scheduling allocates
+nothing; a ``sys.getrefcount`` guard keeps any timeout the model still
+holds out of the slab. :meth:`fork` snapshots the whole simulator
+(clock + rng + agenda, slab and profiler excluded) so sweeps can warm
+up steady state once and fork per point (see ``repro.runtime``).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import pickle
 import random
+import sys
 from typing import Any, Generator, Optional
 
 from ..obs.runtime import new_profiler
-from .events import AllOf, AnyOf, Event, Process, Timeout
+from .agenda import CalendarAgenda
+from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
 
-__all__ = ["Simulator", "EmptySchedule"]
+__all__ = [
+    "EmptySchedule",
+    "Simulator",
+    "default_agenda_kind",
+    "set_default_agenda_kind",
+]
+
+_AGENDA_KINDS = ("auto", "calendar", "heap")
+
+#: Process-wide default agenda engine; ``REPRO_SIM_AGENDA`` overrides
+#: (CI uses it to diff heap-vs-calendar exhibit output byte-for-byte).
+_default_kind = os.environ.get("REPRO_SIM_AGENDA", "auto")
+
+#: Pending-entry count at which an ``"auto"`` simulator migrates from
+#: the heap engine to the calendar engine. Below it the C heap wins on
+#: constant factors; above it heapq's O(log n) sifts lose to the
+#: calendar's amortized O(1) bucket ops (see BENCH_simcore.json).
+_AUTO_MIGRATE = 65_536
+
+#: Max recycled Timeout objects parked per simulator.
+_SLAB_CAP = 4096
+
+# ``sys.getrefcount(event)`` at the recycle checkpoints when *nothing
+# outside the loop* references the event. Heap loop: the popped tuple
+# was freed by unpacking, so refs = the loop local + getrefcount's
+# argument. Calendar loop: the consumed entry tuple is still parked in
+# the open bucket, adding one. (Asserted empirically by the slab tests.)
+_RECYCLE_RC_HEAP = 2
+_RECYCLE_RC_CALENDAR = 3
+
+
+def default_agenda_kind() -> str:
+    """The agenda engine new :class:`Simulator` instances use."""
+    return _default_kind
+
+
+def set_default_agenda_kind(kind: str) -> str:
+    """Install ``kind`` as the process default; returns the previous."""
+    global _default_kind
+    if kind not in _AGENDA_KINDS:
+        raise ValueError(f"unknown agenda kind {kind!r}; "
+                         f"expected one of {_AGENDA_KINDS}")
+    previous, _default_kind = _default_kind, kind
+    return previous
 
 
 class EmptySchedule(Exception):
@@ -43,40 +125,107 @@ class Simulator:
         Seed for the simulator-owned :class:`random.Random`. Model code
         should draw all randomness from :attr:`rng` (or generators seeded
         from it) so runs are reproducible.
+    agenda:
+        Agenda engine: ``"auto"`` (default), ``"calendar"``, or
+        ``"heap"``. All three pop the exact same ``(when, seq)`` order;
+        ``"auto"`` starts on the heap engine and migrates to the
+        calendar engine if the pending count ever crosses the
+        fleet-scale threshold.
     """
 
-    def __init__(self, seed: Optional[int] = 0):
+    def __init__(self, seed: Optional[int] = 0,
+                 agenda: Optional[str] = None):
         self.now: float = 0.0
         #: The construction seed, kept so subsystems can derive their
         #: own independent streams (rng.derived_stream) — e.g. trace
         #: sampling — without consuming draws from :attr:`rng`.
         self.seed = seed
         self.rng = random.Random(seed)
-        self._heap: list = []
-        #: Total agenda entries ever scheduled — also the heap
-        #: tie-breaker. ``benchmarks/bench_runtime.py`` reads this as
-        #: the processed-event count after a run drains the agenda.
+        kind = agenda if agenda is not None else _default_kind
+        if kind == "calendar":
+            self._agenda: Optional[CalendarAgenda] = CalendarAgenda()
+            self._heap: Optional[list] = None
+            self._push = self._agenda.push
+            self._auto = False
+        elif kind in ("heap", "auto"):
+            self._agenda = None
+            self._heap = []
+            self._push = None
+            self._auto = kind == "auto"
+        else:
+            raise ValueError(f"unknown agenda kind {kind!r}; "
+                             f"expected one of {_AGENDA_KINDS}")
+        #: Total agenda entries ever scheduled — also the agenda
+        #: tie-breaker. ``benchmarks`` read this as the processed-event
+        #: count after a run drains the agenda.
         self._sequence = 0
+        #: Free list of fired, otherwise-unreferenced Timeout objects
+        #: (each parked with an *empty* callbacks list), reused by
+        #: ``timeout()`` so steady-state scheduling allocates nothing.
+        self._timeout_slab: list = []
         #: Opt-in step profiler (repro.obs): ``None`` unless profiling
         #: was enabled via ``repro.obs.enable_profiling()`` when this
         #: simulator was constructed, keeping the default loop hot.
         self.profiler = new_profiler()
 
+    @property
+    def agenda_kind(self) -> str:
+        """The agenda engine currently running this simulator.
+
+        ``"auto"`` simulators report ``"heap"`` until (if ever) the
+        fleet-scale migration trips, then ``"calendar"``.
+        """
+        return "heap" if self._heap is not None else "calendar"
+
     # -- scheduling --------------------------------------------------------
+    def _migrate(self) -> None:
+        """One-way heap → calendar migration (the ``"auto"`` trip point).
+
+        The heap list, sorted, *is* a clean spill list: hand it to a
+        fresh calendar agenda whose first ``_advance`` rebuilds and
+        tunes the window from the full pending distribution. Event
+        order is unchanged — both engines pop the same total order —
+        so the migration point is invisible to models.
+        """
+        agenda = CalendarAgenda()
+        heap = self._heap
+        heap.sort()
+        agenda._spill = heap[:]
+        agenda._size = len(heap)
+        agenda.spilled = len(heap)
+        # Empty the old list in place: a running ``_run_heap`` loop
+        # holds it as a local and uses emptiness as its exit signal.
+        del heap[:]
+        self._heap = None
+        self._agenda = agenda
+        self._push = agenda.push
+
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past: delay={delay}")
         self._sequence += 1
-        heapq.heappush(self._heap,
-                       (self.now + delay, self._sequence, None, event))
+        heap = self._heap
+        if heap is None:
+            self._push((self.now + delay, self._sequence, None, event))
+        else:
+            heapq.heappush(heap,
+                           (self.now + delay, self._sequence, None, event))
+            if len(heap) > _AUTO_MIGRATE and self._auto:
+                self._migrate()
 
     def _schedule_call(self, call, event: Any, delay: float = 0.0) -> None:
         """Schedule ``call(event)`` — no Event allocated, nothing drained."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past: delay={delay}")
         self._sequence += 1
-        heapq.heappush(self._heap,
-                       (self.now + delay, self._sequence, call, event))
+        heap = self._heap
+        if heap is None:
+            self._push((self.now + delay, self._sequence, call, event))
+        else:
+            heapq.heappush(heap,
+                           (self.now + delay, self._sequence, call, event))
+            if len(heap) > _AUTO_MIGRATE and self._auto:
+                self._migrate()
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -86,23 +235,21 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` time units from now.
 
-        Fast path: builds the (pre-triggered) Timeout and pushes it in
-        one go, skipping the two-level ``__init__`` chain and the
-        redundant delay validation in :meth:`_schedule` — timeouts are
-        by far the most-scheduled event type.
+        Fast path: draws from the timeout slab via the shared
+        slab-backed constructor (``Timeout._acquire`` — the same one
+        ``Timeout(sim, d)`` routes through) and pushes the entry
+        directly, skipping ``_schedule``'s redundant delay validation.
         """
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
-        timeout = Timeout.__new__(Timeout)
-        timeout.sim = self
-        timeout.callbacks = []
-        timeout._value = value
-        timeout._ok = True
-        timeout._defused = False
-        timeout.delay = delay
+        timeout = Timeout._acquire(self, delay, value)
         self._sequence += 1
-        heapq.heappush(self._heap,
-                       (self.now + delay, self._sequence, None, timeout))
+        heap = self._heap
+        if heap is None:
+            self._push((self.now + delay, self._sequence, None, timeout))
+        else:
+            heapq.heappush(heap,
+                           (self.now + delay, self._sequence, None, timeout))
+            if len(heap) > _AUTO_MIGRATE and self._auto:
+                self._migrate()
         return timeout
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -120,9 +267,15 @@ class Simulator:
     # -- execution -----------------------------------------------------------
     def step(self) -> None:
         """Process the single next entry on the agenda."""
-        if not self._heap:
-            raise EmptySchedule()
-        when, _seq, call, event = heapq.heappop(self._heap)
+        if self._heap is not None:
+            if not self._heap:
+                raise EmptySchedule()
+            when, _seq, call, event = heapq.heappop(self._heap)
+        else:
+            try:
+                when, _seq, call, event = self._agenda.pop()
+            except IndexError:
+                raise EmptySchedule() from None
         if call is not None:
             if self.profiler is not None:
                 self.profiler.record_call(self, when, call, event)
@@ -149,31 +302,172 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        heap = self._heap
         if self.profiler is not None:
             # Profiled path: per-event step() so attribution stays in
             # one place; the loop overhead is noise next to the timers.
-            while heap:
-                if until is not None and heap[0][0] > until:
+            # Re-reads ``_heap`` every pass: an "auto" simulator may
+            # migrate engines under us.
+            while (self._heap if self._heap is not None
+                   else len(self._agenda)):
+                if until is not None and self.peek() > until:
                     break
                 self.step()
         else:
-            limit = float("inf") if until is None else until
-            pop = heapq.heappop
-            while heap and heap[0][0] <= limit:
-                when, _seq, call, event = pop(heap)
-                self.now = when
-                if call is not None:
-                    call(event)
-                    continue
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
+            while True:
+                if self._heap is not None:
+                    self._run_heap(until)
+                    if self._heap is None:
+                        # An "auto" simulator migrated mid-run; resume
+                        # on the calendar loop with the same limit.
+                        continue
+                else:
+                    self._run_calendar(until)
+                break
         if until is not None:
             self.now = until
 
+    def _run_heap(self, until: Optional[float]) -> None:
+        """The inlined heapq event loop (the PR 2 reference engine).
+
+        Returns when the heap is drained or the limit is passed — or
+        when an ``"auto"`` migration emptied the heap list mid-run (the
+        caller re-dispatches onto the calendar loop).
+        """
+        heap = self._heap
+        limit = float("inf") if until is None else until
+        slab = self._timeout_slab
+        getrefcount = sys.getrefcount
+        pop = heapq.heappop
+        while heap and heap[0][0] <= limit:
+            when, _seq, call, event = pop(heap)
+            self.now = when
+            if call is not None:
+                call(event)
+                continue
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            # Recycle a fired timeout nothing else references: the
+            # refcount guard keeps model-held timeouts (and their
+            # values) out of the slab, and the drained callbacks list
+            # is cleared and reattached so a reused object can never
+            # expose stale callbacks.
+            if event.__class__ is Timeout and \
+                    getrefcount(event) == _RECYCLE_RC_HEAP and \
+                    len(slab) < _SLAB_CAP:
+                del callbacks[:]
+                event.callbacks = callbacks
+                event._value = None
+                slab.append(event)
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """The calendar-queue event loop with batched same-time firing.
+
+        The open bucket is a pre-sorted list consumed by index, so
+        entries sharing a timestamp are adjacent: the loop writes
+        ``self.now`` once and checks ``until`` once per *distinct*
+        timestamp, then drains the whole batch. The agenda's cursor
+        (``_pos``/``_size``) is committed once per batch (try/finally,
+        so exceptions leave it consistent), not per event; pushes from
+        model callbacks stay correct regardless (``CalendarAgenda.push``
+        keys exceed every entry already consumed, so a stale ``lo``
+        bound only widens ``insort``'s search), but model callbacks must
+        not re-entrantly call ``step()``/``peek()`` mid-drain.
+        """
+        agenda = self._agenda
+        limit = float("inf") if until is None else until
+        slab = self._timeout_slab
+        getrefcount = sys.getrefcount
+        while True:
+            open_ = agenda._open
+            pos = agenda._pos
+            if pos >= len(open_):
+                if not agenda._advance():
+                    break
+                continue
+            when = open_[pos][0]
+            if when > limit:
+                break
+            self.now = when
+            start = pos
+            try:
+                while True:
+                    entry = open_[pos]
+                    pos += 1
+                    call = entry[2]
+                    event = entry[3]
+                    if call is not None:
+                        call(event)
+                    else:
+                        callbacks, event.callbacks = event.callbacks, None
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                        # Same recycle guard as the heap loop, one count
+                        # higher: the consumed entry tuple still parked
+                        # in the open bucket holds one extra reference.
+                        if event.__class__ is Timeout and \
+                                getrefcount(event) == _RECYCLE_RC_CALENDAR \
+                                and len(slab) < _SLAB_CAP:
+                            del callbacks[:]
+                            event.callbacks = callbacks
+                            event._value = None
+                            slab.append(event)
+                    # Zero-delay pushes insort into the open bucket at
+                    # >= pos (their keys exceed everything consumed),
+                    # so the live length re-check picks them up.
+                    if pos < len(open_) and open_[pos][0] == when:
+                        continue
+                    break
+            finally:
+                agenda._pos = pos
+                agenda._size -= pos - start
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else float("inf")
+        return self._agenda.peek()
+
+    # -- snapshot / restore --------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the full simulator state: clock, rng, and agenda.
+
+        Everything reachable from pending agenda entries (events,
+        callbacks, the model objects behind them) is captured, so a
+        warmed-up steady state can be snapshotted once and restored per
+        sweep point (see ``repro.runtime.warmstart``). The timeout slab
+        and any attached profiler are deliberately *not* part of the
+        snapshot.
+
+        Generator-driven processes cannot be pickled; snapshot-eligible
+        worlds must schedule work through callbacks and direct calls.
+        """
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except (TypeError, AttributeError, pickle.PicklingError) as exc:
+            raise SimulationError(
+                "Simulator.snapshot() requires a picklable world: "
+                "generator-driven processes cannot be snapshotted — "
+                "schedule via callbacks/direct calls instead "
+                f"(pickle said: {exc})") from exc
+
+    def fork(self) -> "Simulator":
+        """An independent deep copy of this simulator (via snapshot)."""
+        return pickle.loads(self.snapshot())
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["profiler"] = None       # profilers observe one process
+        state["_timeout_slab"] = []    # an allocator cache, not state
+        state.pop("_push", None)       # rebound on restore
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._push = self._agenda.push if self._agenda is not None else None
+        self.profiler = new_profiler()

@@ -1,0 +1,31 @@
+"""SLAB001 fixture: slab recycling with and without callbacks reset.
+
+The rule keys on the *module name* (``repro.simcore.*``), so the test
+lints this file with an explicit module override.
+"""
+
+
+def bad_recycle_keeps_callbacks(sim, event):
+    slab = sim._timeout_slab
+    event._value = None
+    slab.append(event)  # positive: line 11
+
+
+def bad_recycle_attribute_slab(sim, event):
+    event._value = None
+    sim._timeout_slab.append(event)  # positive: line 16
+
+
+def good_recycle_resets_callbacks(sim, event, callbacks):
+    del callbacks[:]
+    event.callbacks = callbacks
+    sim._timeout_slab.append(event)  # negative: reset above
+
+
+def good_recycle_tuple_assign(sim, event):
+    event.callbacks, event._value = [], None
+    sim._timeout_slab.append(event)  # negative: tuple-target reset
+
+
+def fine_unrelated_append(items, value):
+    items.append(value)  # negative: not a slab

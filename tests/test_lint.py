@@ -176,6 +176,47 @@ class TestCache001DynamicImports:
                              module="repro.obs.trace")
         assert [f.line for f in found] == [7, 15]
 
+    def test_rule_covers_simcore_package(self):
+        # Every exhibit's cache key is a function of the simulation
+        # kernel, so the agenda engines get the same scrutiny.
+        found = findings_for("cache001_dynamic.py", "CACHE001",
+                             module="repro.simcore.agenda")
+        assert [f.line for f in found] == [7, 15]
+
+
+class TestSlab001SlabRecycle:
+    def test_positive_lines(self):
+        found = findings_for("slab001_stale_callbacks.py", "SLAB001",
+                             module="repro.simcore.fake")
+        assert [f.line for f in found] == [11, 16]
+        assert all("callbacks" in f.message for f in found)
+
+    def test_module_outside_simcore_is_exempt(self):
+        found = findings_for(
+            "slab001_stale_callbacks.py", "SLAB001",
+            module="tests.lint_fixtures.slab001_stale_callbacks")
+        assert found == []
+
+    def test_sim_module_in_src_is_clean(self):
+        # Both recycle sites in the simulator reattach a cleared
+        # callbacks list before the slab append.
+        sim = os.path.join(SRC_REPRO, "simcore", "sim.py")
+        found = [f for f in lint_files([sim]) if f.rule == "SLAB001"]
+        assert found == []
+
+    def test_agenda_module_is_wallclock_denylisted(self):
+        # The agenda engines order the whole simulation; DET001 pins
+        # them on its denylist so they stay wall-clock free.
+        agenda = os.path.join(SRC_REPRO, "simcore", "agenda.py")
+        found = [f for f in lint_files([agenda]) if f.rule == "DET001"]
+        assert found == []
+        source_module = ModuleSource(fixture("det001_wallclock.py"),
+                                     module="repro.simcore.agenda")
+        rule = get_rule("DET001")
+        flagged = [f for f in rule.check(source_module, ProjectIndex())
+                   if not source_module.is_suppressed(f.line, f.rule)]
+        assert [f.line for f in flagged] == [9, 13, 17]
+
 
 class TestSuppressionAndSelection:
     def test_same_line_and_line_above_suppression(self, tmp_path):
