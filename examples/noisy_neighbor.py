@@ -39,8 +39,8 @@ def main() -> None:
                       key=lambda b: len(b.configured_services))
     noisy_id = next(iter(hot_backend.top_services(1)))
     noisy = gateway.registry.services[noisy_id]
-    peers = [sid for sid in hot_backend.configured_services
-             if sid != noisy_id]
+    peers = sorted(sid for sid in hot_backend.configured_services
+                   if sid != noisy_id)
     print(f"hot backend: {hot_backend.name} "
           f"(services: {sorted(hot_backend.configured_services)})")
     print(f"noisy neighbor: {noisy.qualified_name} "

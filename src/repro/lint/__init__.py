@@ -27,6 +27,7 @@ from .framework import (
 )
 from .runner import collect_files, lint_files, lint_paths, select_rules
 from . import rules  # noqa: F401  (imports register the rule catalog)
+from . import program_rules  # noqa: F401  (whole-program rule families)
 
 __all__ = [
     "Finding",

@@ -1,0 +1,950 @@
+"""Interprocedural determinism-taint dataflow for simlint v2.
+
+The engine answers one question: *can a nondeterministic value reach
+state that the repository's correctness claims depend on?* Sources are
+the four ways nondeterminism enters a Python process:
+
+* ``wallclock`` — ``time.time()`` and friends (the DET001 call set);
+* ``rng`` — the module-level ``random`` functions / unseeded ``Random``;
+* ``order`` — hash-ordered iteration: ``list(a_set)``, ``dict.popitem``,
+  elements bound by iterating a set;
+* ``ident`` — ``id()`` / ``hash()``, which vary per process and per
+  ``PYTHONHASHSEED``.
+
+Sinks are the three places a tainted value corrupts a run: simulation
+state writes in the model layers, values returned by
+``repro.experiments`` functions (exhibit results), and cache-key
+material (``cached_run`` / ``RunSpec`` arguments).
+
+The analysis is two-phase so it parallelizes and caches per file:
+
+1. **Extraction** (:func:`extract_templates`) — one purely local AST
+   pass per function producing a :class:`FunctionTemplate` whose return
+   value, sink inputs, and call arguments are *taint terms*: a small
+   picklable algebra (``kind`` / ``param`` / ``attrset`` / ``call`` /
+   ``sans_order`` / ``join``) that defers everything cross-module.
+2. **Resolution** (:func:`resolve_summaries`) — folds
+   :class:`Summary` objects (return taint, param→return flows,
+   param→sink flows) over the call graph in Tarjan SCC order, iterating
+   each SCC to a fixpoint (the lattice is finite and joins are
+   monotone, so convergence is guaranteed; recursion and call cycles
+   just take an extra lap). Ground taint arriving at a sink — directly,
+   through a helper's return, or through an argument that a callee
+   eventually sinks — becomes a :class:`ResolvedFinding` for DET101.
+
+The same extraction pass also records :class:`RaceWrite` facts (writes
+to module globals / class attributes from inside sim-process
+generators) for RACE001, since it is already walking every function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .astutil import resolve_call_name
+from .rules import WallClockRule
+
+__all__ = [
+    "FunctionTemplate",
+    "RaceWrite",
+    "ResolvedFinding",
+    "Sink",
+    "Summary",
+    "extract_templates",
+    "race_groups",
+    "resolve_summaries",
+]
+
+#: Bump when term semantics change (cache-key component).
+DATAFLOW_VERSION = 1
+
+KIND_LABELS = {
+    "wallclock": "wall-clock",
+    "rng": "unseeded/global rng",
+    "order": "set/dict iteration order",
+    "ident": "id()/hash() identity",
+}
+
+_WALLCLOCK_CALLS = WallClockRule._CALLS
+_RNG_MODULE_FNS = frozenset(
+    f"random.{fn}" for fn in (
+        "random", "uniform", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "gauss", "expovariate", "lognormvariate",
+        "normalvariate", "paretovariate", "triangular", "betavariate",
+        "gammavariate", "vonmisesvariate", "weibullvariate",
+        "getrandbits", "randbytes"))
+_IDENT_CALLS = frozenset({"id", "hash"})
+#: Builtins whose result does not depend on argument order — they
+#: *sanitize* the ``order`` kind (but pass every other kind through).
+_ORDER_SANITIZERS = frozenset({"sorted", "sum", "min", "max", "len",
+                               "any", "all", "set", "frozenset"})
+_SEQUENCE_CTORS = frozenset({"list", "tuple", "iter"})
+#: Call names whose arguments are cache-key material.
+_CACHE_KEY_SINKS = frozenset({"cached_run", "RunSpec"})
+#: Attribute calls that push a (possibly tainted) delay into the agenda.
+_SCHEDULE_ATTRS = frozenset({"timeout", "_schedule", "_schedule_call"})
+#: Mutating container methods (RACE001 write detection).
+_MUTATORS = frozenset({"append", "add", "update", "extend", "insert",
+                       "pop", "popleft", "appendleft", "remove",
+                       "discard", "clear", "setdefault", "popitem"})
+#: Module-level constructors that make shared state legitimate: writes
+#: that go through simcore events/resources are synchronized by the
+#: simulator itself.
+SYNC_CTORS = frozenset({"Resource", "CpuResource", "Store", "Event"})
+
+_wallclock_rule = WallClockRule()
+
+
+def _is_state_module(module: Optional[str]) -> bool:
+    """Modules whose attribute writes count as sim-state sinks.
+
+    The model layers (rank <= 2 of the layer DAG) hold simulation
+    state; the DET001 wall-clock allowlist (repro.obs instrumentation,
+    repro.serve) is carved out because those layers measure real time
+    on purpose — except the denylisted tracer, which records sim time.
+    """
+    from .graph import layer_rank
+    if not module:
+        return False
+    rank = layer_rank(module)
+    if rank is None or rank > 2:
+        return False
+    return not _wallclock_rule._allowlisted(module)
+
+
+# -- taint terms -------------------------------------------------------------
+# Terms are plain nested tuples: hashable, picklable, canonical.
+#   ("kind", k) | ("param", i) | ("attrset", attr) | ("sans_order", t)
+#   ("call", desc, pos_terms, kw_terms) | ("join", terms)
+# None is bottom (untainted).
+
+def _join(terms: Sequence) -> Optional[tuple]:
+    flat: List[tuple] = []
+    for term in terms:
+        if term is None:
+            continue
+        if term[0] == "join":
+            flat.extend(term[1])
+        else:
+            flat.append(term)
+    unique = sorted(set(flat), key=repr)
+    if not unique:
+        return None
+    if len(unique) == 1:
+        return unique[0]
+    return ("join", tuple(unique))
+
+
+def _term_has_call(term) -> bool:
+    if term is None:
+        return False
+    tag = term[0]
+    if tag == "call":
+        return True
+    if tag == "join":
+        return any(_term_has_call(t) for t in term[1])
+    if tag == "sans_order":
+        return _term_has_call(term[1])
+    return False
+
+
+def _term_call_names(term) -> List[str]:
+    """Callee names appearing in a term (for finding messages)."""
+    names: List[str] = []
+    if term is None:
+        return names
+    tag = term[0]
+    if tag == "call":
+        names.append(term[1][1])
+        for sub in term[2] + tuple(t for _, t in term[3]):
+            names.extend(_term_call_names(sub))
+    elif tag == "join":
+        for sub in term[1]:
+            names.extend(_term_call_names(sub))
+    elif tag == "sans_order":
+        names.extend(_term_call_names(term[1]))
+    return sorted(set(names))
+
+
+@dataclass(frozen=True)
+class Sink:
+    """A taint sink site inside one function."""
+
+    label: str     # sim-state | exhibit-result | cache-key
+    line: int
+    col: int
+    detail: str    # attribute / callee name, for the message
+    term: tuple    # the taint term of the value reaching the sink
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call with argument taint terms (for sink lifting)."""
+
+    desc: Tuple[str, str]
+    line: int
+    col: int
+    pos_terms: tuple
+    kw_terms: Tuple[Tuple[str, tuple], ...]
+
+
+@dataclass(frozen=True)
+class FunctionTemplate:
+    """The per-function extraction result; everything later phases need."""
+
+    qualname: str
+    module: str
+    class_qualname: str
+    lineno: int
+    params: Tuple[str, ...]
+    kind: str                       # function | method | ...
+    return_term: Optional[tuple]
+    sinks: Tuple[Sink, ...]
+    callsites: Tuple[CallSite, ...]
+
+    def callee_descs(self) -> List[Tuple[str, str]]:
+        descs = {site.desc for site in self.callsites}
+
+        def walk(term):
+            if term is None:
+                return
+            if term[0] == "call":
+                descs.add(term[1])
+                for sub in term[2] + tuple(t for _, t in term[3]):
+                    walk(sub)
+            elif term[0] == "join":
+                for sub in term[1]:
+                    walk(sub)
+            elif term[0] == "sans_order":
+                walk(term[1])
+
+        walk(self.return_term)
+        for sink in self.sinks:
+            walk(sink.term)
+        for site in self.callsites:
+            for sub in site.pos_terms + tuple(t for _, t in site.kw_terms):
+                walk(sub)
+        return sorted(descs)
+
+
+@dataclass(frozen=True)
+class RaceWrite:
+    """A write to shared mutable state from a sim-process generator."""
+
+    scope: str      # "global" | "class"
+    owner: str      # module name or class qualname
+    name: str       # the written symbol / attribute
+    writer: str     # generator qualname doing the write
+    path: str
+    line: int
+    col: int
+
+
+# -- extraction --------------------------------------------------------------
+
+class _FunctionExtractor:
+    """One pass over one function body building its template."""
+
+    def __init__(self, module_source, module: str, qualname: str,
+                 class_qualname: str, node, kind: str):
+        self.source = module_source
+        self.module = module
+        self.qualname = qualname
+        self.class_qualname = class_qualname
+        self.node = node
+        self.kind = kind
+        self.aliases = module_source.aliases
+        args = node.args
+        self.params = tuple(a.arg for a in args.args)
+        self.param_index = {name: i for i, name in enumerate(self.params)}
+        self.env: Dict[str, Optional[tuple]] = {
+            name: ("param", i) for name, i in
+            sorted(self.param_index.items())}
+        self.setish: Set[str] = set()
+        self.return_terms: List[tuple] = []
+        self.sinks: List[Sink] = []
+        self.callsites: List[CallSite] = []
+        self.is_experiment = bool(module) and (
+            module == "repro.experiments" or
+            module.startswith("repro.experiments."))
+        self.state_module = _is_state_module(module)
+
+    # -- expression terms ---------------------------------------------------
+    def _is_setish(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name) and node.id in self.setish:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+            return self._is_setish(node.left) or \
+                self._is_setish(node.right)
+        return False
+
+    def _attrset_term(self, node: ast.AST) -> Optional[tuple]:
+        if isinstance(node, ast.Attribute):
+            return ("attrset", node.attr)
+        return None
+
+    def term(self, node: Optional[ast.AST]) -> Optional[tuple]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_term(node)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.term(node.value)
+        if isinstance(node, ast.Subscript):
+            return _join([self.term(node.value), self.term(node.slice)])
+        if isinstance(node, (ast.BinOp,)):
+            return _join([self.term(node.left), self.term(node.right)])
+        if isinstance(node, ast.UnaryOp):
+            return self.term(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return _join([self.term(v) for v in node.values])
+        if isinstance(node, ast.Compare):
+            return _join([self.term(node.left)] +
+                         [self.term(c) for c in node.comparators])
+        if isinstance(node, ast.IfExp):
+            return _join([self.term(node.body), self.term(node.orelse)])
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return _join([self.term(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            return _join([self.term(k) for k in node.keys if k] +
+                         [self.term(v) for v in node.values])
+        if isinstance(node, ast.JoinedStr):
+            return _join([self.term(v) for v in node.values])
+        if isinstance(node, ast.FormattedValue):
+            return self.term(node.value)
+        if isinstance(node, ast.Starred):
+            return self.term(node.value)
+        if isinstance(node, ast.Await):
+            return self.term(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            parts: List[Optional[tuple]] = []
+            order = False
+            for comp in node.generators:
+                parts.append(self.term(comp.iter))
+                if self._is_setish(comp.iter) and \
+                        not isinstance(node, ast.SetComp):
+                    order = True
+                attrset = self._attrset_term(comp.iter)
+                if attrset is not None and \
+                        not isinstance(node, ast.SetComp):
+                    parts.append(attrset)
+            if isinstance(node, ast.DictComp):
+                parts.extend([self.term(node.key), self.term(node.value)])
+            else:
+                parts.append(self.term(node.elt))
+            if order:
+                parts.append(("kind", "order"))
+            return _join(parts)
+        return None
+
+    def _call_term(self, node: ast.Call) -> Optional[tuple]:
+        name = resolve_call_name(node.func, self.aliases)
+        pos_terms = tuple(self.term(a) for a in node.args)
+        kw_terms = tuple(sorted(
+            (kw.arg or "**", self.term(kw.value))
+            for kw in node.keywords))
+        arg_join = _join([t for t in pos_terms if t is not None] +
+                         [t for _, t in kw_terms if t is not None])
+
+        # Sources -----------------------------------------------------------
+        if name in _WALLCLOCK_CALLS:
+            return ("kind", "wallclock")
+        if name in _RNG_MODULE_FNS or name == "random.SystemRandom":
+            return ("kind", "rng")
+        if name == "random.Random" and not node.args and not node.keywords:
+            return ("kind", "rng")
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _IDENT_CALLS and node.args:
+            return _join([("kind", "ident"), arg_join])
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "popitem":
+            return _join([("kind", "order"), self.term(node.func.value)])
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _SEQUENCE_CTORS and len(node.args) == 1:
+            arg = node.args[0]
+            if self._is_setish(arg):
+                return _join([("kind", "order"), arg_join])
+            attrset = self._attrset_term(arg)
+            if attrset is not None:
+                # list(obj.attr): order-tainted iff the program declares
+                # attr as a Set somewhere — resolved globally.
+                return _join([attrset, arg_join])
+            return arg_join
+
+        # Sanitizers --------------------------------------------------------
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _ORDER_SANITIZERS:
+            if arg_join is None:
+                return None
+            return ("sans_order", arg_join)
+
+        # Calls -------------------------------------------------------------
+        desc = self._callee_desc(node.func, name)
+        site = CallSite(desc=desc, line=node.lineno,
+                        col=node.col_offset + 1,
+                        pos_terms=pos_terms, kw_terms=kw_terms)
+        self.callsites.append(site)
+        if desc[0] == "opaque":
+            return arg_join
+        return ("call", desc, pos_terms, kw_terms)
+
+    def _callee_desc(self, func: ast.AST,
+                     name: Optional[str]) -> Tuple[str, str]:
+        if name is not None:
+            root, _, rest = name.partition(".")
+            if root in ("self", "cls") and rest and "." not in rest:
+                return ("self", rest)
+            if root in ("self", "cls"):
+                return ("opaque", name)
+            return ("name", name)
+        return ("opaque", "")
+
+    # -- statements ---------------------------------------------------------
+    def _record_sink(self, label: str, node: ast.AST, detail: str,
+                     term: Optional[tuple]) -> None:
+        if term is not None:
+            self.sinks.append(Sink(label=label, line=node.lineno,
+                                   col=node.col_offset + 1,
+                                   detail=detail, term=term))
+
+    def _handle_statement(self, statement: ast.stmt) -> None:
+        if isinstance(statement, (ast.Assign, ast.AnnAssign,
+                                  ast.AugAssign)):
+            value = statement.value
+            if value is None:
+                return
+            term = self.term(value)
+            targets = statement.targets if isinstance(
+                statement, ast.Assign) else [statement.target]
+            for target in targets:
+                self._assign(target, term, value,
+                             augmented=isinstance(statement,
+                                                  ast.AugAssign))
+        elif isinstance(statement, ast.Return):
+            term = self.term(statement.value)
+            if term is not None:
+                self.return_terms.append(term)
+                if self.is_experiment:
+                    self._record_sink("exhibit-result", statement,
+                                      "return value", term)
+        elif isinstance(statement, ast.Expr):
+            self.term(statement.value)   # record call sites / sinks
+        elif isinstance(statement, ast.For):
+            iter_term = self.term(statement.iter)
+            extra = []
+            if self._is_setish(statement.iter):
+                extra.append(("kind", "order"))
+            attrset = self._attrset_term(statement.iter)
+            if attrset is not None:
+                extra.append(attrset)
+            self._assign(statement.target,
+                         _join([iter_term] + extra), statement.iter)
+        elif isinstance(statement, (ast.If, ast.While)):
+            self.term(statement.test)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                term = self.term(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, term,
+                                 item.context_expr)
+
+    def _assign(self, target: ast.AST, term: Optional[tuple],
+                value: ast.AST, augmented: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if augmented:
+                term = _join([self.env.get(target.id), term])
+            self.env[target.id] = term
+            if self._is_setish(value):
+                self.setish.add(target.id)
+            elif target.id in self.setish and not augmented:
+                self.setish.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, term, value)
+        elif isinstance(target, ast.Attribute):
+            if self.state_module:
+                self._record_sink("sim-state", target, target.attr, term)
+        elif isinstance(target, ast.Subscript):
+            container = target.value
+            if isinstance(container, ast.Attribute) and self.state_module:
+                self._record_sink("sim-state", target,
+                                  f"{container.attr}[...]", term)
+
+    def _scan_special_sinks(self, node: ast.AST) -> None:
+        """Cache-key and scheduling sinks live in call argument position."""
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        callee = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        if callee in _CACHE_KEY_SINKS:
+            term = _join([self.term(a) for a in node.args] +
+                         [self.term(kw.value) for kw in node.keywords])
+            self._record_sink("cache-key", node, callee + "()", term)
+        elif callee in _SCHEDULE_ATTRS and \
+                isinstance(func, ast.Attribute) and node.args and \
+                self.state_module:
+            term = self.term(node.args[0])
+            self._record_sink("sim-state", node,
+                              f"{callee}() delay", term)
+
+    def extract(self) -> FunctionTemplate:
+        statements = _own_statements(self.node)
+        # Two passes: the second picks up loop-carried and
+        # defined-later dependencies that a single in-order pass misses.
+        for _pass in (1, 2):
+            self.return_terms = []
+            self.sinks = []
+            self.callsites = []
+            for statement in statements:
+                self._handle_statement(statement)
+            for statement in statements:
+                for sub in ast.walk(statement):
+                    self._scan_special_sinks(sub)
+        return FunctionTemplate(
+            qualname=self.qualname, module=self.module,
+            class_qualname=self.class_qualname,
+            lineno=self.node.lineno, params=self.params, kind=self.kind,
+            return_term=_join(self.return_terms),
+            sinks=tuple(self.sinks),
+            callsites=tuple(self.callsites))
+
+
+def _own_statements(fn) -> List[ast.stmt]:
+    """Every statement in the function, excluding nested def bodies,
+    flattened in source order (branch bodies included — the dataflow is
+    deliberately path-insensitive: any branch may execute)."""
+    statements: List[ast.stmt] = []
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            statements.append(statement)
+            for name in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, name, None)
+                if nested:
+                    visit(nested)
+            for handler in getattr(statement, "handlers", ()):
+                visit(handler.body)
+
+    visit(fn.body)
+    return statements
+
+
+# -- sim-process generator detection (shared with RACE001) -------------------
+
+_SIM_ATTRS = frozenset({"timeout", "process", "event", "work",
+                        "all_of", "any_of", "wait"})
+
+
+def _walk_own(node: ast.AST):
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def is_sim_generator(fn) -> bool:
+    """A generator whose yields interact with a simulator (the SIM001
+    heuristic: a yielded expression mentions ``sim`` or a simulator
+    verb)."""
+    for node in _walk_own(fn):
+        if not isinstance(node, (ast.Yield, ast.YieldFrom)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Name) and sub.id == "sim":
+                return True
+            if isinstance(sub, ast.Attribute) and (
+                    sub.attr == "sim" or sub.attr in _SIM_ATTRS):
+                return True
+    return False
+
+
+def _race_writes(module_source, qualname: str, fn,
+                 module_globals: Set[str],
+                 class_names: Set[str]) -> List[RaceWrite]:
+    if not any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _walk_own(fn)):
+        return []
+    if not is_sim_generator(fn):
+        return []
+    module = module_source.module or ""
+    declared_global: Set[str] = set()
+    for node in _walk_own(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    writes: List[RaceWrite] = []
+
+    def record(scope: str, owner: str, name: str, node: ast.AST) -> None:
+        writes.append(RaceWrite(
+            scope=scope, owner=owner, name=name, writer=qualname,
+            path=module_source.path, line=node.lineno,
+            col=node.col_offset + 1))
+
+    def classify_target(target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in declared_global:
+                record("global", module, target.id, node)
+        elif isinstance(target, ast.Attribute):
+            value = target.value
+            if isinstance(value, ast.Name) and value.id in class_names:
+                record("class", f"{module}.{value.id}", target.attr,
+                       node)
+        elif isinstance(target, ast.Subscript):
+            value = target.value
+            if isinstance(value, ast.Name):
+                if value.id in declared_global or \
+                        value.id in module_globals:
+                    record("global", module, value.id, node)
+            elif isinstance(value, ast.Attribute) and \
+                    isinstance(value.value, ast.Name) and \
+                    value.value.id in class_names:
+                record("class", f"{module}.{value.value.id}",
+                       value.attr, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                classify_target(element, node)
+
+    for node in _walk_own(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                classify_target(target, node)
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATORS:
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id in module_globals or \
+                        receiver.id in declared_global:
+                    record("global", module, receiver.id, node)
+            elif isinstance(receiver, ast.Attribute) and \
+                    isinstance(receiver.value, ast.Name) and \
+                    receiver.value.id in class_names:
+                record("class", f"{module}.{receiver.value.id}",
+                       receiver.attr, node)
+    return writes
+
+
+def extract_templates(module_source):
+    """``(templates, race_writes)`` for one parsed module."""
+    tree = module_source.tree
+    module = module_source.module or ""
+    if tree is None:
+        return (), ()
+    module_globals: Set[str] = set()
+    class_names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            class_names.add(node.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_globals.add(target.id)
+
+    templates: List[FunctionTemplate] = []
+    races: List[RaceWrite] = []
+
+    def visit_function(node, qualname: str, class_qualname: str,
+                       kind: str) -> None:
+        extractor = _FunctionExtractor(module_source, module, qualname,
+                                       class_qualname, node, kind)
+        templates.append(extractor.extract())
+        races.extend(_race_writes(module_source, qualname, node,
+                                  module_globals, class_names))
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit_function(node, f"{module}.{node.name}", "", "function")
+        elif isinstance(node, ast.ClassDef):
+            class_qualname = f"{module}.{node.name}"
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    kind = "method"
+                    for decorator in item.decorator_list:
+                        name = decorator.id if isinstance(
+                            decorator, ast.Name) else None
+                        if name in ("staticmethod", "classmethod"):
+                            kind = name
+                    visit_function(item,
+                                   f"{class_qualname}.{item.name}",
+                                   class_qualname, kind)
+    return tuple(templates), tuple(races)
+
+
+# -- resolution --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Summary:
+    """What a function does with taint, from its caller's viewpoint."""
+
+    returns: FrozenSet[str]
+    param_returns: FrozenSet[int]
+    #: param index -> sink label the parameter eventually reaches.
+    param_sinks: Tuple[Tuple[int, str], ...]
+
+
+@dataclass(frozen=True)
+class ResolvedFinding:
+    """One ground DET101 hit, ready to become a Finding."""
+
+    path: str
+    module: str
+    line: int
+    col: int
+    label: str
+    detail: str
+    kinds: Tuple[str, ...]
+    via: Tuple[str, ...]
+    through_call: bool
+
+
+_EMPTY_SUMMARY = Summary(returns=frozenset(), param_returns=frozenset(),
+                         param_sinks=())
+
+
+class _Resolver:
+    """Evaluates taint terms against the evolving summary table."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.templates: Dict[str, FunctionTemplate] = {}
+        for module_facts in graph.facts:
+            for template in module_facts.templates:
+                self.templates[template.qualname] = template
+        self.summaries: Dict[str, Summary] = {
+            qualname: _EMPTY_SUMMARY for qualname in self.templates}
+
+    # -- term evaluation ----------------------------------------------------
+    def eval(self, term, template: FunctionTemplate,
+             depth: int = 0) -> Tuple[Set[str], Set[int]]:
+        """``(ground kinds, open param indices)`` for a term."""
+        if term is None or depth > 40:
+            return set(), set()
+        tag = term[0]
+        if tag == "kind":
+            return {term[1]}, set()
+        if tag == "param":
+            return set(), {term[1]}
+        if tag == "attrset":
+            if term[1] in self.graph.set_attributes:
+                return {"order"}, set()
+            return set(), set()
+        if tag == "sans_order":
+            kinds, params = self.eval(term[1], template, depth + 1)
+            return kinds - {"order"}, params
+        if tag == "join":
+            kinds: Set[str] = set()
+            params: Set[int] = set()
+            for sub in term[1]:
+                sub_kinds, sub_params = self.eval(sub, template,
+                                                  depth + 1)
+                kinds |= sub_kinds
+                params |= sub_params
+            return kinds, params
+        if tag == "call":
+            return self._eval_call(term[1], term[2], term[3], template,
+                                   depth)
+        return set(), set()
+
+    def _arg_term(self, index: int, pos_terms, kw_terms,
+                  callee: FunctionTemplate, offset: int):
+        position = index - offset
+        if 0 <= position < len(pos_terms):
+            return pos_terms[position]
+        if index < len(callee.params):
+            wanted = callee.params[index]
+            for name, term in kw_terms:
+                if name == wanted:
+                    return term
+        return None
+
+    def _callee_offset(self, desc, callee: FunctionTemplate) -> int:
+        """Skip the bound ``self``/``cls`` parameter at call sites."""
+        if callee.kind in ("method", "classmethod") and callee.params:
+            if desc[0] == "self":
+                return 1
+            # Constructor or instance-attribute call resolved by name.
+            if callee.params[0] in ("self", "cls"):
+                return 1
+        return 0
+
+    def _eval_call(self, desc, pos_terms, kw_terms,
+                   template: FunctionTemplate,
+                   depth: int) -> Tuple[Set[str], Set[int]]:
+        target = self.graph.resolve_callee(desc, template.module,
+                                           template.class_qualname)
+        arg_terms = tuple(pos_terms) + tuple(t for _, t in kw_terms)
+        if target is None or target not in self.templates:
+            # Opaque call (stdlib, foreign): conservatively pass
+            # argument taint through to the result.
+            kinds: Set[str] = set()
+            params: Set[int] = set()
+            for sub in arg_terms:
+                sub_kinds, sub_params = self.eval(sub, template,
+                                                  depth + 1)
+                kinds |= sub_kinds
+                params |= sub_params
+            return kinds, params
+        callee = self.templates[target]
+        summary = self.summaries[target]
+        offset = self._callee_offset(desc, callee)
+        kinds = set(summary.returns)
+        params: Set[int] = set()
+        for index in sorted(summary.param_returns):
+            arg = self._arg_term(index, pos_terms, kw_terms, callee,
+                                 offset)
+            sub_kinds, sub_params = self.eval(arg, template, depth + 1)
+            kinds |= sub_kinds
+            params |= sub_params
+        return kinds, params
+
+    # -- summary fixpoint ---------------------------------------------------
+    def _compute_summary(self, qualname: str) -> Summary:
+        template = self.templates[qualname]
+        return_kinds, return_params = self.eval(template.return_term,
+                                                template)
+        param_sinks: Set[Tuple[int, str]] = set()
+        for sink in template.sinks:
+            _kinds, params = self.eval(sink.term, template)
+            for index in sorted(params):
+                param_sinks.add((index, sink.label))
+        for site in template.callsites:
+            target = self.graph.resolve_callee(
+                site.desc, template.module, template.class_qualname)
+            if target is None or target not in self.templates:
+                continue
+            callee = self.templates[target]
+            summary = self.summaries[target]
+            offset = self._callee_offset(site.desc, callee)
+            for index, label in summary.param_sinks:
+                arg = self._arg_term(index, site.pos_terms,
+                                     site.kw_terms, callee, offset)
+                _kinds, params = self.eval(arg, template)
+                for param in sorted(params):
+                    param_sinks.add((param, label))
+        return Summary(returns=frozenset(return_kinds),
+                       param_returns=frozenset(return_params),
+                       param_sinks=tuple(sorted(param_sinks)))
+
+    def run(self) -> None:
+        for component in self.graph.sccs:
+            members = [m for m in component if m in self.templates]
+            if not members:
+                continue
+            for _iteration in range(len(members) + 8):
+                changed = False
+                for qualname in members:
+                    updated = self._compute_summary(qualname)
+                    if updated != self.summaries[qualname]:
+                        self.summaries[qualname] = updated
+                        changed = True
+                if not changed:
+                    break
+
+    # -- findings -----------------------------------------------------------
+    def findings(self) -> List[ResolvedFinding]:
+        resolved: List[ResolvedFinding] = []
+        for qualname in sorted(self.templates):
+            template = self.templates[qualname]
+            module_facts = self.graph.by_module.get(template.module)
+            path = module_facts.path if module_facts else ""
+            for sink in template.sinks:
+                kinds, _params = self.eval(sink.term, template)
+                if kinds:
+                    resolved.append(ResolvedFinding(
+                        path=path, module=template.module,
+                        line=sink.line, col=sink.col, label=sink.label,
+                        detail=sink.detail,
+                        kinds=tuple(sorted(kinds)),
+                        via=tuple(_term_call_names(sink.term)),
+                        through_call=_term_has_call(sink.term)))
+            for site in template.callsites:
+                target = self.graph.resolve_callee(
+                    site.desc, template.module, template.class_qualname)
+                if target is None or target not in self.templates:
+                    continue
+                callee = self.templates[target]
+                summary = self.summaries[target]
+                offset = self._callee_offset(site.desc, callee)
+                for index, label in summary.param_sinks:
+                    arg = self._arg_term(index, site.pos_terms,
+                                         site.kw_terms, callee, offset)
+                    kinds, _params = self.eval(arg, template)
+                    if kinds:
+                        resolved.append(ResolvedFinding(
+                            path=path, module=template.module,
+                            line=site.line, col=site.col, label=label,
+                            detail=f"argument to {site.desc[1]}()",
+                            kinds=tuple(sorted(kinds)),
+                            via=(site.desc[1],), through_call=True))
+        return resolved
+
+
+def resolve_summaries(graph):
+    """``(summaries, findings)`` for a built :class:`ProgramGraph`."""
+    resolver = _Resolver(graph)
+    resolver.run()
+    return resolver.summaries, resolver.findings()
+
+
+def race_groups(graph) -> Dict[str, List[dict]]:
+    """RACE001 resolution: path -> contested-write records.
+
+    A symbol is contested when >= 2 *distinct* sim-process generators
+    write it. Module globals constructed from a simcore synchronization
+    type (Resource/Store/Event) are exempt: the simulator serializes
+    access to those by construction.
+    """
+    by_symbol: Dict[Tuple[str, str, str], List[RaceWrite]] = {}
+    for module_facts in graph.facts:
+        for write in module_facts.race_writes:
+            key = (write.scope, write.owner, write.name)
+            by_symbol.setdefault(key, []).append(write)
+
+    findings: Dict[str, List[dict]] = {}
+    for key in sorted(by_symbol):
+        scope, owner, name = key
+        writes = by_symbol[key]
+        writers = sorted({w.writer for w in writes})
+        if len(writers) < 2:
+            continue
+        if scope == "global":
+            owner_facts = graph.by_module.get(owner)
+            if owner_facts is not None and any(
+                    global_name == name and ctor in SYNC_CTORS
+                    for global_name, ctor in owner_facts.global_ctors):
+                continue
+        symbol = f"{owner}.{name}" if scope == "global" else \
+            f"{owner}.{name} (class attribute)"
+        for write in sorted(writes, key=lambda w: (w.path, w.line, w.col)):
+            others = [w for w in writers if w != write.writer] or writers
+            findings.setdefault(write.path, []).append({
+                "line": write.line, "col": write.col, "symbol": symbol,
+                "writer": write.writer, "others": others})
+    return findings

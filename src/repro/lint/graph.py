@@ -1,0 +1,472 @@
+"""Whole-program graphs for simlint v2: symbols, imports, calls, SCCs.
+
+The per-file rules of PR 3 see one AST at a time; every bug class that
+motivated v2 (a wall-clock read three helpers away from sim state, an
+upward import, two sim processes racing on a module global) is a
+*whole-program* property. This module builds the shared substrate those
+rules run on:
+
+* :func:`extract_facts` — one deterministic, purely syntactic pass per
+  file producing a picklable :class:`ModuleFacts` record (declared
+  functions/classes, raw import sites, module globals, taint templates
+  from :mod:`.dataflow`). Facts depend only on the file's bytes and
+  path, which is what makes the incremental cache (:mod:`.cache`) and
+  the ``--jobs N`` fan-out sound.
+* :class:`SymbolTable` — project-wide name resolution: local calls,
+  aliased imports, ``self.``/``cls.`` methods (with a bounded walk up
+  declared bases), and class constructors. Approximate but sound for
+  this codebase's direct-call style: anything unresolvable is treated
+  as an opaque call, never silently dropped.
+* :class:`ProgramGraph` — the assembled import graph, call graph, and
+  Tarjan SCC order (callees before callers) that
+  :func:`.dataflow.resolve_summaries` folds function summaries over.
+
+Everything here is deterministic: all tables are built in sorted order
+and iterated sorted, so two runs — or ``--jobs 1`` vs ``--jobs 4`` —
+produce byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astutil import collect_aliases
+
+__all__ = [
+    "ClassDecl",
+    "FunctionDecl",
+    "LAYERS",
+    "ModuleFacts",
+    "ProgramGraph",
+    "SymbolTable",
+    "extract_facts",
+    "layer_rank",
+    "strongly_connected",
+]
+
+#: Bump when the fact schema or extraction logic changes: the
+#: incremental cache keys fact entries by (content hash, this version).
+FACTS_VERSION = 1
+
+#: The declared architecture layer DAG, most-specific prefix wins.
+#: Rank 0 is the foundation; a module may import only same-or-lower
+#: ranks. The ``repro.obs`` instrumentation facade (telemetry counters,
+#: profiler, ambient runtime state, causal tracer) sits at rank 1 — the
+#: model layers call *into* it on the hot path by design — while the
+#: package root (init/export wiring) stays at rank 2 with the fault
+#: subsystem. ``repro.lint`` sits with the runtime layer because its
+#: ``--jobs`` fan-out rides ``runtime.sweep_map``. The umbrella package
+#: ``repro`` itself re-exports everything and is exempt (rank None).
+LAYERS: Tuple[Tuple[str, int], ...] = (
+    ("repro.simcore", 0),
+    ("repro.core", 1),
+    ("repro.mesh", 1),
+    ("repro.netsim", 1),
+    ("repro.crypto", 1),
+    ("repro.kernel", 1),
+    ("repro.k8s", 1),
+    ("repro.workloads", 1),
+    ("repro.obs.telemetry", 1),
+    ("repro.obs.profiler", 1),
+    ("repro.obs.runtime", 1),
+    ("repro.obs.trace", 1),
+    ("repro.obs", 2),
+    ("repro.faults", 2),
+    ("repro.runtime", 3),
+    ("repro.experiments", 3),
+    ("repro.lint", 3),
+    ("repro.serve", 4),
+)
+
+
+def layer_rank(module: Optional[str]) -> Optional[int]:
+    """Layer rank for a module, by most-specific declared prefix.
+
+    ``None`` for modules outside the DAG (tests, benchmarks, the
+    ``repro`` umbrella): they may import anything.
+    """
+    if not module:
+        return None
+    best: Optional[Tuple[int, int]] = None   # (prefix length, rank)
+    for prefix, rank in LAYERS:
+        if module == prefix or module.startswith(prefix + "."):
+            if best is None or len(prefix) > best[0]:
+                best = (len(prefix), rank)
+    return best[1] if best else None
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """One function or method declaration."""
+
+    qualname: str          # repro.core.gateway.Gateway.pick
+    module: str            # repro.core.gateway
+    name: str              # pick  (or Gateway.pick for the index)
+    params: Tuple[str, ...]
+    lineno: int
+    kind: str              # function | method | staticmethod | classmethod
+    class_qualname: str = ""   # empty for module-level functions
+
+
+@dataclass(frozen=True)
+class ClassDecl:
+    """One class declaration with alias-resolved base names."""
+
+    qualname: str
+    module: str
+    name: str
+    bases: Tuple[str, ...]     # dotted, alias-resolved; may be foreign
+    methods: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ModuleFacts:
+    """Everything the whole-program analysis needs from one file.
+
+    Pure data (no AST nodes), so facts pickle across ``sweep_map``
+    workers and serialize into the incremental cache.
+    """
+
+    module: str
+    path: str
+    is_package: bool
+    imports: Tuple[Tuple[str, int], ...]   # (absolute dotted name, line)
+    functions: Tuple[FunctionDecl, ...]
+    classes: Tuple[ClassDecl, ...]
+    module_globals: Tuple[str, ...]        # module-level assigned names
+    global_ctors: Tuple[Tuple[str, str], ...]  # global -> ctor call name
+    set_attributes: Tuple[str, ...]        # Set/FrozenSet-annotated attrs
+    templates: Tuple = ()                  # dataflow.FunctionTemplate
+    race_writes: Tuple = ()                # dataflow.RaceWrite
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      stem: str) -> str:
+    """Absolute dotted name for a ``from ...x import y`` statement."""
+    if level == 0:
+        return stem
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    if level:
+        parts = parts[:len(parts) - level + 1]
+    return ".".join(p for p in (".".join(parts), stem) if p)
+
+
+def _import_sites(tree: ast.AST, module: str,
+                  is_package: bool) -> List[Tuple[str, int]]:
+    """Raw absolute import names with line numbers.
+
+    ``from repro.core import gateway`` records both ``repro.core`` and
+    ``repro.core.gateway``; the :class:`ProgramGraph` resolves each
+    against the known-module set by longest prefix.
+    """
+    sites: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                sites.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(module, is_package, node.level,
+                                     node.module or "")
+            if base:
+                sites.append((base, node.lineno))
+            for alias in node.names:
+                if alias.name != "*" and base:
+                    sites.append((f"{base}.{alias.name}", node.lineno))
+    return sites
+
+
+_SET_CTORS = frozenset({"set", "frozenset"})
+
+
+def _decl_kind(node: ast.AST) -> str:
+    for decorator in getattr(node, "decorator_list", ()):
+        name = decorator.id if isinstance(decorator, ast.Name) else \
+            decorator.attr if isinstance(decorator, ast.Attribute) else None
+        if name == "staticmethod":
+            return "staticmethod"
+        if name == "classmethod":
+            return "classmethod"
+    return "method"
+
+
+def extract_facts(module_source) -> ModuleFacts:
+    """The :class:`ModuleFacts` for one parsed ``ModuleSource``.
+
+    Imports :mod:`.dataflow` lazily to keep the import graph acyclic
+    (dataflow needs nothing from this module at import time).
+    """
+    from .dataflow import extract_templates
+
+    module = module_source.module or ""
+    tree = module_source.tree
+    is_package = module_source.path.endswith("__init__.py")
+    if tree is None:
+        return ModuleFacts(module=module, path=module_source.path,
+                           is_package=is_package, imports=(),
+                           functions=(), classes=(), module_globals=(),
+                           global_ctors=(), set_attributes=())
+
+    functions: List[FunctionDecl] = []
+    classes: List[ClassDecl] = []
+    module_globals: List[str] = []
+    global_ctors: List[Tuple[str, str]] = []
+    aliases = module_source.aliases
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(FunctionDecl(
+                qualname=f"{module}.{node.name}", module=module,
+                name=node.name,
+                params=tuple(a.arg for a in node.args.args),
+                lineno=node.lineno, kind="function"))
+        elif isinstance(node, ast.ClassDef):
+            class_qualname = f"{module}.{node.name}"
+            methods: List[str] = []
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    methods.append(item.name)
+                    functions.append(FunctionDecl(
+                        qualname=f"{class_qualname}.{item.name}",
+                        module=module, name=f"{node.name}.{item.name}",
+                        params=tuple(a.arg for a in item.args.args),
+                        lineno=item.lineno, kind=_decl_kind(item),
+                        class_qualname=class_qualname))
+            bases: List[str] = []
+            for base in node.bases:
+                parts: List[str] = []
+                target = base
+                while isinstance(target, ast.Attribute):
+                    parts.append(target.attr)
+                    target = target.value
+                if isinstance(target, ast.Name):
+                    parts.append(target.id)
+                    dotted = ".".join(reversed(parts))
+                    root, _, rest = dotted.partition(".")
+                    origin = aliases.get(root)
+                    if origin is not None:
+                        dotted = f"{origin}.{rest}" if rest else origin
+                    bases.append(dotted)
+            classes.append(ClassDecl(
+                qualname=class_qualname, module=module, name=node.name,
+                bases=tuple(bases), methods=tuple(methods)))
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value = node.value
+            ctor = ""
+            if isinstance(value, ast.Call):
+                func = value.func
+                ctor = func.id if isinstance(func, ast.Name) else \
+                    func.attr if isinstance(func, ast.Attribute) else ""
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_globals.append(target.id)
+                    if ctor:
+                        global_ctors.append((target.id, ctor))
+
+    set_attributes: List[str] = []
+    from .framework import ProjectIndex
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and \
+                ProjectIndex._is_set_annotation(node.annotation) and \
+                isinstance(node.target, ast.Attribute):
+            set_attributes.append(node.target.attr)
+
+    templates, race_writes = extract_templates(module_source)
+    return ModuleFacts(
+        module=module, path=module_source.path, is_package=is_package,
+        imports=tuple(_import_sites(tree, module, is_package)),
+        functions=tuple(functions), classes=tuple(classes),
+        module_globals=tuple(sorted(set(module_globals))),
+        global_ctors=tuple(sorted(set(global_ctors))),
+        set_attributes=tuple(sorted(set(set_attributes))),
+        templates=templates, race_writes=race_writes)
+
+
+class SymbolTable:
+    """Project-wide name resolution over every module's declarations."""
+
+    def __init__(self, facts: Sequence[ModuleFacts]):
+        self.functions: Dict[str, FunctionDecl] = {}
+        self.classes: Dict[str, ClassDecl] = {}
+        #: (module, local dotted name) -> qualname, e.g.
+        #: ("repro.core.gateway", "Gateway.pick") -> full qualname.
+        self._local: Dict[Tuple[str, str], str] = {}
+        for module_facts in sorted(facts, key=lambda f: f.module):
+            for decl in module_facts.functions:
+                self.functions[decl.qualname] = decl
+                self._local[(decl.module, decl.name)] = decl.qualname
+            for decl in module_facts.classes:
+                self.classes[decl.qualname] = decl
+
+    def _class_method(self, class_qualname: str, method: str,
+                      depth: int = 0) -> Optional[str]:
+        """Method lookup with a bounded walk up declared bases."""
+        decl = self.classes.get(class_qualname)
+        if decl is None or depth > 4:
+            return None
+        if method in decl.methods:
+            return f"{class_qualname}.{method}"
+        for base in decl.bases:
+            candidates = [base]
+            if "." not in base:
+                candidates.append(f"{decl.module}.{base}")
+            for candidate in candidates:
+                if candidate in self.classes:
+                    found = self._class_method(candidate, method,
+                                               depth + 1)
+                    if found:
+                        return found
+        return None
+
+    def resolve(self, desc: Tuple[str, str], module: str,
+                class_qualname: str = "") -> Optional[str]:
+        """Qualname for a callee descriptor, or None if opaque.
+
+        ``desc`` is ``("self", method)`` for ``self.x()``/``cls.x()``
+        calls or ``("name", dotted)`` for everything else (already
+        alias-resolved by the extractor). A resolved class yields its
+        ``__init__`` when one is declared, else the class qualname
+        itself (callers treat that as an argument-passthrough
+        constructor).
+        """
+        kind, name = desc
+        if kind == "self":
+            if class_qualname:
+                return self._class_method(class_qualname, name)
+            return None
+        # Bare or dotted name, alias-resolved already.
+        local = self._local.get((module, name))
+        if local is not None:
+            return local
+        if name in self.classes:
+            init = self._class_method(name, "__init__")
+            return init or name
+        if name in self.functions:
+            return name
+        head, _, method = name.rpartition(".")
+        if head:
+            # mod.Class.method / Class.method-in-this-module forms.
+            for class_name in (head, f"{module}.{head.rpartition('.')[2]}"
+                               if "." not in head else head):
+                if class_name in self.classes:
+                    found = self._class_method(class_name, method)
+                    if found:
+                        return found
+            local = self._local.get((module, name.rpartition(".")[2]))
+        return None
+
+
+def strongly_connected(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan SCCs, emitted callees-before-callers (reverse topological
+    over the condensation), deterministically ordered. Iterative, so
+    deep call chains cannot blow the recursion limit."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = sorted(edges.get(node, ()))
+            advanced = False
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in edges:
+                    continue
+                if child not in index:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+class ProgramGraph:
+    """The assembled whole-program view over a set of module facts."""
+
+    def __init__(self, facts: Sequence[ModuleFacts]):
+        self.facts: List[ModuleFacts] = sorted(facts,
+                                               key=lambda f: f.module)
+        self.by_module: Dict[str, ModuleFacts] = {
+            f.module: f for f in self.facts}
+        self.symbols = SymbolTable(self.facts)
+        #: Every Set/FrozenSet-annotated attribute name in the program.
+        self.set_attributes: Set[str] = set()
+        for module_facts in self.facts:
+            self.set_attributes.update(module_facts.set_attributes)
+        self.imports = self._resolve_imports()
+        self.call_edges = self._call_edges()
+        self.sccs = strongly_connected(self.call_edges)
+
+    # -- imports -------------------------------------------------------------
+    def _resolve_imports(self) -> Dict[str, List[Tuple[str, int]]]:
+        """module -> sorted (imported known module, first line)."""
+        known = set(self.by_module)
+        resolved: Dict[str, List[Tuple[str, int]]] = {}
+        for module_facts in self.facts:
+            seen: Dict[str, int] = {}
+            for raw, lineno in module_facts.imports:
+                parts = raw.split(".")
+                while parts:
+                    candidate = ".".join(parts)
+                    if candidate in known:
+                        if candidate != module_facts.module:
+                            previous = seen.get(candidate)
+                            if previous is None or lineno < previous:
+                                seen[candidate] = lineno
+                        break
+                    parts = parts[:-1]
+            resolved[module_facts.module] = sorted(seen.items())
+        return resolved
+
+    # -- calls ---------------------------------------------------------------
+    def _call_edges(self) -> Dict[str, Set[str]]:
+        edges: Dict[str, Set[str]] = {
+            decl: set() for decl in self.symbols.functions}
+        for module_facts in self.facts:
+            for template in module_facts.templates:
+                callees = edges.setdefault(template.qualname, set())
+                for desc in template.callee_descs():
+                    target = self.symbols.resolve(
+                        desc, template.module, template.class_qualname)
+                    if target is not None and \
+                            target in self.symbols.functions:
+                        callees.add(target)
+        return edges
+
+    def resolve_callee(self, desc: Tuple[str, str], module: str,
+                       class_qualname: str = "") -> Optional[str]:
+        return self.symbols.resolve(desc, module, class_qualname)

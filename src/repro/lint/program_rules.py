@@ -1,0 +1,299 @@
+"""Whole-program simlint rules: DET101, LAYER001, RACE001, LEAK001.
+
+These are the rule families the per-file catalog (:mod:`.rules`)
+structurally cannot express:
+
+* **DET101** — interprocedural nondeterminism taint: a wall-clock read,
+  unseeded rng draw, hash-order dependence, or ``id()``/``hash()``
+  identity that reaches sim state, an exhibit result, or a cache key
+  *through helper calls*. Resolution happens globally (summaries folded
+  over the call graph in SCC order — see :mod:`.dataflow`); this class
+  just formats its file's slice of the resolved findings.
+* **LAYER001** — architecture layering against the declared DAG
+  (:data:`~repro.lint.graph.LAYERS`): an import whose layer rank is
+  *higher* than the importer's is an upward dependency and a finding.
+* **RACE001** — module- or class-level mutable state written from two
+  or more distinct sim-process generators without going through simcore
+  synchronization (Resource/Store/Event). Under one worker this is a
+  scheduling-order dependence; under the entity-array refactor
+  (ROADMAP 1) it becomes a real data race.
+* **LEAK001** — slab/resource discipline: a value acquired via
+  ``*._acquire()``/``*.acquire()`` must be released, returned, or
+  handed off on every exit path; a held name at a ``return`` (or at
+  fall-off) means the slab entry leaks and reuse stops working.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .dataflow import KIND_LABELS
+from .framework import Finding, ModuleSource, ProjectIndex, Rule, register
+from .graph import _resolve_relative, layer_rank
+
+__all__ = [
+    "InterproceduralTaintRule",
+    "LayeringRule",
+    "SimRaceRule",
+    "SlabLeakRule",
+]
+
+
+@register
+class InterproceduralTaintRule(Rule):
+    """DET101: nondeterminism that reaches a sink through calls."""
+
+    id = "DET101"
+    severity = "error"
+    summary = ("interprocedural nondeterminism taint reaching sim state, "
+               "an exhibit result, or a cache key")
+    fix_hint = ("derive the value from sim.now / the seeded rng, or "
+                "sort before iterating; the taint path runs through the "
+                "named helpers")
+
+    _SINK_LABELS = {
+        "sim-state": "simulation state",
+        "exhibit-result": "an exhibit result",
+        "cache-key": "cache-key material",
+    }
+
+    def _reportable(self, resolved) -> List[str]:
+        """DET001/DET002 already flag *direct* wall-clock and rng use at
+        the source site, so those kinds only fire here when the taint
+        travelled through at least one call. Order and identity taint
+        has no per-file rule covering the conversion/sink forms, so it
+        always fires."""
+        kinds = []
+        for kind in resolved.kinds:
+            if kind in ("order", "ident") or resolved.through_call:
+                kinds.append(kind)
+        return kinds
+
+    def check(self, module: ModuleSource,
+              project: ProjectIndex) -> Iterable[Finding]:
+        for resolved in project.dataflow_findings.get(module.path, ()):
+            kinds = self._reportable(resolved)
+            if not kinds:
+                continue
+            labels = " + ".join(KIND_LABELS[k] for k in kinds)
+            sink = self._SINK_LABELS.get(resolved.label, resolved.label)
+            message = (f"{labels} taint reaches {sink} "
+                       f"({resolved.detail})")
+            if resolved.via:
+                message += " via " + ", ".join(
+                    f"{name}()" for name in resolved.via)
+            yield Finding(rule=self.id, severity=self.severity,
+                          path=module.path, line=resolved.line,
+                          col=resolved.col, message=message,
+                          fix_hint=self.fix_hint)
+
+
+@register
+class LayeringRule(Rule):
+    """LAYER001: upward imports against the declared layer DAG."""
+
+    id = "LAYER001"
+    severity = "error"
+    summary = ("import from a higher architecture layer (upward edge in "
+               "the declared layer DAG)")
+    fix_hint = ("invert the dependency: move the shared piece down a "
+                "layer or register a hook from the higher layer "
+                "(see repro.simcore.hooks)")
+
+    def _sites(self, module: ModuleSource) -> List[Tuple[str, int]]:
+        """(absolute imported name, line) pairs, one per imported
+        symbol. For ``from X import a, b`` the per-alias full names are
+        used (not the bare base) so importing a low-rank submodule
+        through its higher-rank package root is not a false positive.
+        """
+        is_package = module.path.endswith("__init__.py")
+        sites: List[Tuple[str, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    sites.append((alias.name, node.lineno))
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_relative(module.module, is_package,
+                                         node.level, node.module or "")
+                if not base:
+                    continue
+                names = [a.name for a in node.names if a.name != "*"]
+                if names:
+                    sites.extend((f"{base}.{name}", node.lineno)
+                                 for name in names)
+                else:
+                    sites.append((base, node.lineno))
+        return sites
+
+    def check(self, module: ModuleSource,
+              project: ProjectIndex) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        importer_rank = layer_rank(module.module)
+        if importer_rank is None:
+            return
+        #: line -> (imported rank, shortest offending name)
+        worst: Dict[int, Tuple[int, str]] = {}
+        for name, line in self._sites(module):
+            rank = layer_rank(name)
+            if rank is None or rank <= importer_rank:
+                continue
+            current = worst.get(line)
+            if current is None or rank > current[0] or \
+                    (rank == current[0] and len(name) < len(current[1])):
+                worst[line] = (rank, name)
+        for line in sorted(worst):
+            rank, name = worst[line]
+            yield Finding(
+                rule=self.id, severity=self.severity, path=module.path,
+                line=line, col=1,
+                message=(f"{module.module} (layer {importer_rank}) "
+                         f"imports {name} (layer {rank}): upward "
+                         f"dependency violates the declared layer DAG"),
+                fix_hint=self.fix_hint)
+
+
+@register
+class SimRaceRule(Rule):
+    """RACE001: shared mutable state contested by >= 2 sim processes."""
+
+    id = "RACE001"
+    severity = "error"
+    summary = ("module/class-level mutable state written from two or "
+               "more sim-process generators without simcore "
+               "synchronization")
+    fix_hint = ("route the shared state through a simcore Resource / "
+                "Store / Event, or thread it through the process "
+                "arguments so each writer owns its slice")
+
+    def check(self, module: ModuleSource,
+              project: ProjectIndex) -> Iterable[Finding]:
+        for record in project.race_findings.get(module.path, ()):
+            others = ", ".join(record["others"])
+            yield Finding(
+                rule=self.id, severity=self.severity, path=module.path,
+                line=record["line"], col=record["col"],
+                message=(f"sim process {record['writer']} writes shared "
+                         f"state {record['symbol']}, also written by "
+                         f"{others}; write order depends on event "
+                         f"interleaving"),
+                fix_hint=self.fix_hint)
+
+
+@register
+class SlabLeakRule(Rule):
+    """LEAK001: acquired slab/pool objects must escape every exit path."""
+
+    id = "LEAK001"
+    severity = "error"
+    summary = ("value acquired via _acquire()/acquire() is not released, "
+               "returned, or handed off on some exit path")
+    fix_hint = ("release/schedule/return the acquired object on every "
+                "path, or acquire it only where it is consumed")
+
+    _ACQUIRE_ATTRS = frozenset({"_acquire", "acquire"})
+
+    def _is_acquire_call(self, node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._ACQUIRE_ATTRS)
+
+    @staticmethod
+    def _names_used(node: Optional[ast.AST]) -> Set[str]:
+        used: Set[str] = set()
+        if node is not None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and \
+                        isinstance(sub.ctx, ast.Load):
+                    used.add(sub.id)
+        return used
+
+    def check(self, module: ModuleSource,
+              project: ProjectIndex) -> Iterable[Finding]:
+        if module.tree is None:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ModuleSource,
+                        fn) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        #: held name -> (acquire line, acquire col, callee attr)
+        Held = Dict[str, Tuple[int, int, str]]
+
+        def leak(held: Held, name: str, node: ast.AST) -> None:
+            line, col, attr = held[name]
+            findings.append(Finding(
+                rule=self.id, severity=self.severity, path=module.path,
+                line=node.lineno, col=node.col_offset + 1,
+                message=(f"{name!r} acquired via {attr}() at line "
+                         f"{line} is not released, returned, or handed "
+                         f"off on this exit path"),
+                fix_hint=self.fix_hint))
+
+        def consume(held: Held, node: Optional[ast.AST]) -> None:
+            for name in self._names_used(node):
+                held.pop(name, None)
+
+        def walk(body, held: Held) -> Held:
+            """Transfer function over one statement list; mutates and
+            returns the held-set. Branches are merged pessimistically
+            (held on any path stays held); loop bodies run once."""
+            for statement in body:
+                if isinstance(statement, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef)):
+                    continue
+                if isinstance(statement, ast.Assign) and \
+                        self._is_acquire_call(statement.value) and \
+                        len(statement.targets) == 1 and \
+                        isinstance(statement.targets[0], ast.Name):
+                    consume(held, statement.value)
+                    held[statement.targets[0].id] = (
+                        statement.lineno, statement.col_offset + 1,
+                        statement.value.func.attr)
+                elif isinstance(statement, ast.Return):
+                    consume(held, statement.value)
+                    for name in sorted(held):
+                        leak(held, name, statement)
+                    held.clear()
+                elif isinstance(statement, ast.If):
+                    consume(held, statement.test)
+                    branch_a = walk(statement.body, dict(held))
+                    branch_b = walk(statement.orelse, dict(held))
+                    held.clear()
+                    held.update(branch_b)
+                    held.update(branch_a)
+                elif isinstance(statement, (ast.For, ast.AsyncFor)):
+                    consume(held, statement.iter)
+                    held.update(walk(statement.body, dict(held)))
+                    walk(statement.orelse, held)
+                elif isinstance(statement, ast.While):
+                    consume(held, statement.test)
+                    held.update(walk(statement.body, dict(held)))
+                    walk(statement.orelse, held)
+                elif isinstance(statement, ast.Try):
+                    walk(statement.body, held)
+                    for handler in statement.handlers:
+                        walk(handler.body, held)
+                    walk(statement.orelse, held)
+                    walk(statement.finalbody, held)
+                elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                    for item in statement.items:
+                        consume(held, item.context_expr)
+                    walk(statement.body, held)
+                else:
+                    # Any other statement: every Load of a held name is
+                    # a hand-off (call argument, attribute store,
+                    # release(), yield, ...).
+                    consume(held, statement)
+            return held
+
+        remaining = walk(fn.body, {})
+        if remaining:
+            tail = fn.body[-1]
+            for name in sorted(remaining):
+                leak(remaining, name, tail)
+        return findings

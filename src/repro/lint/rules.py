@@ -198,6 +198,29 @@ class UnorderedIterationRule(Rule):
     _SET_BUILTINS = frozenset({"set", "frozenset"})
     _LISTING_CALLS = frozenset({"os.listdir", "os.scandir"})
 
+    #: Builtins whose result cannot depend on iteration order: a
+    #: comprehension/genexp over a set fed *directly* into one of these
+    #: is deterministic and must not be flagged.
+    _ORDER_INSENSITIVE = frozenset({"len", "any", "all", "sum", "min",
+                                    "max", "sorted", "set", "frozenset"})
+
+    def _order_insensitive_context(self, node: ast.AST,
+                                   parents: Dict[ast.AST, ast.AST]) -> bool:
+        """True when the comprehension's consumer is order-insensitive.
+
+        A set comprehension is order-insensitive by construction (its
+        result is itself unordered); any comprehension or generator
+        expression is when it is a direct argument to one of the
+        :data:`_ORDER_INSENSITIVE` builtins (``any(f(x) for x in s)``).
+        """
+        if isinstance(node, ast.SetComp):
+            return True
+        parent = parents.get(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in self._ORDER_INSENSITIVE
+                and any(node is arg for arg in parent.args))
+
     def _local_set_names(self, tree: ast.AST) -> Set[str]:
         """Names assigned a set-typed expression anywhere in the file.
 
@@ -265,6 +288,8 @@ class UnorderedIterationRule(Rule):
                     "hash-dependent and varies across processes")
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                                    ast.GeneratorExp)):
+                if self._order_insensitive_context(node, parents):
+                    continue
                 for comp in node.generators:
                     if set_iteration(comp.iter):
                         yield self.finding(

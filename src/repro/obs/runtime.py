@@ -16,8 +16,10 @@ Profiling works the same way: while enabled, every freshly constructed
 :class:`~repro.obs.profiler.SimProfiler`, all of which are collected
 here for the report exporters to drain.
 
-This module must stay import-light (no simcore / mesh imports): the
-simulator itself imports it.
+The simulator does **not** import this module (the layer DAG forbids
+an upward simcore → obs edge); instead this module registers
+:func:`new_profiler` into ``repro.simcore.hooks`` at import time, and
+``Simulator.__init__`` calls through that hook.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
+from ..simcore.hooks import set_profiler_factory
 from .profiler import SimProfiler
 from .telemetry import Telemetry
 
@@ -100,3 +103,8 @@ def take_profilers() -> List[SimProfiler]:
     global _profilers
     drained, _profilers = _profilers, []
     return drained
+
+
+# Dependency inversion: the kernel calls simcore.hooks.new_profiler();
+# importing the observability layer is what arms it.
+set_profiler_factory(new_profiler)

@@ -62,8 +62,8 @@ import random
 import sys
 from typing import Any, Generator, Optional
 
-from ..obs.runtime import new_profiler
 from .agenda import CalendarAgenda
+from .hooks import new_profiler
 from .events import AllOf, AnyOf, Event, Process, SimulationError, Timeout
 
 __all__ = [

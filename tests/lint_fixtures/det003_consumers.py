@@ -1,0 +1,25 @@
+"""DET003 order-insensitive-consumer fixture: both sides.
+
+A comprehension over a set fed directly into len/any/all/sum/min/max/
+sorted/set/frozenset is deterministic (clean); the same comprehension
+materialized into an ordered container still fires.
+"""
+
+ITEMS = {3, 1, 2}
+
+
+def clean_consumers():
+    total = sum(x for x in ITEMS)
+    n = len([x for x in ITEMS if x > 1])
+    has_even = any(x % 2 == 0 for x in ITEMS)
+    uniform = all(x < 10 for x in ITEMS)
+    ordered = sorted(x * 2 for x in ITEMS)
+    doubled = {x * 2 for x in ITEMS}
+    present = 2 in ITEMS
+    return total, n, has_even, uniform, ordered, doubled, present
+
+
+def firing_consumers():
+    as_list = [x for x in ITEMS]
+    as_dict = {x: True for x in ITEMS}
+    return as_list, as_dict

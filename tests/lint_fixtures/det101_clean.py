@@ -1,0 +1,36 @@
+"""DET101 clean fixture (linted as module repro.core.fake_clean).
+
+Deterministic flows and sanitized order must not fire.
+"""
+
+import time
+from typing import Set
+
+
+def model_time(sim):
+    return sim.now + 1.0
+
+
+class Gateway:
+    def __init__(self, sim):
+        self.active: Set[int] = set()
+        self.last_seen = 0.0
+        self.sim = sim
+
+    def refresh(self, sim):
+        # deterministic helper: sim time, not wall time.
+        self.last_seen = model_time(sim)
+
+    def snapshot(self):
+        # sorted() strips the order taint before the sink.
+        self.order = sorted(self.active)
+
+    def direct(self):
+        # Direct wall-clock store: DET001 territory, not DET101's
+        # (no call hop, so DET101 stays quiet; DET001 fires instead).
+        self.started = time.time()
+
+
+def seeded_draw(rng):
+    # rng threaded as a parameter is the sanctioned pattern.
+    return rng.random()

@@ -1,0 +1,55 @@
+"""DET101 firing fixture (linted as module repro.core.fake_taint).
+
+Every sink here receives nondeterminism *through at least one call*,
+which is exactly the gap DET001-003 cannot see.
+"""
+
+import time
+from typing import Set
+
+
+def jitter():
+    return time.time()
+
+
+def scaled_jitter():
+    return jitter() * 2.0
+
+
+def record(holder, value):
+    # Param sink: callers feeding a tainted second argument are flagged
+    # at their call site.
+    holder.stamp = value
+
+
+class Gateway:
+    def __init__(self):
+        self.active: Set[int] = set()
+        self.last_seen = 0.0
+        self.order = ()
+
+    def refresh(self):
+        # wall-clock reaches sim state two calls deep.
+        self.last_seen = scaled_jitter()
+
+    def snapshot(self):
+        # set -> sequence conversion: hash-order reaches sim state.
+        self.order = list(self.active)
+
+    def tag(self, obj):
+        # id() identity taint into sim state (direct: ident always fires).
+        self.marker = id(obj)
+
+
+def drive(gateway):
+    record(gateway, time.time())
+
+
+def cache_spec(name):
+    # identity taint into cache-key material.
+    return RunSpec(key=hash(name))
+
+
+class RunSpec:
+    def __init__(self, key=None):
+        self.key = key

@@ -1,0 +1,16 @@
+"""LAYER001 clean fixture (linted as module repro.mesh.fake).
+
+Downward and same-layer imports, stdlib, and low-rank submodules
+reached through a higher-rank package root are all allowed.
+"""
+
+import json
+import os
+
+from repro.simcore import Simulator
+from repro.core import gateway
+from repro.obs.runtime import get_telemetry
+
+
+def use_them():
+    return json, os, Simulator, gateway, get_telemetry

@@ -1,0 +1,14 @@
+"""LAYER001 firing fixture (linted as module repro.simcore.fake).
+
+The simulation kernel (layer 0) importing observability (layer 1) and
+the service layer (layer 4) are upward edges in the declared DAG.
+"""
+
+from repro.obs.runtime import new_profiler
+from repro.serve import app
+
+import repro.experiments
+
+
+def use_them():
+    return new_profiler, app, repro.experiments

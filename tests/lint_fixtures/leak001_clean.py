@@ -1,0 +1,29 @@
+"""LEAK001 clean fixture: every exit path consumes the acquired value."""
+
+
+def released_on_both_paths(sim, slab):
+    timeout = slab._acquire(sim, 1.0)
+    if sim.now > 10.0:
+        timeout.cancel()
+        return None
+    sim.schedule(timeout)
+    return timeout
+
+
+def returned_directly(sim, slab):
+    return slab._acquire(sim, 1.0)
+
+
+def handed_off(sim, slab, registry):
+    timeout = slab._acquire(sim, 1.0)
+    registry.track(timeout)
+
+
+def stored(sim, slab, holder):
+    timeout = slab._acquire(sim, 1.0)
+    holder.pending = timeout
+
+
+def context_managed(pool):
+    with pool.acquire() as connection:
+        return connection.ping()

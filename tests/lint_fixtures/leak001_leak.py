@@ -1,0 +1,23 @@
+"""LEAK001 firing fixture: acquired slab objects leaked on exit paths."""
+
+
+def early_return_leak(sim, slab):
+    timeout = slab._acquire(sim, 1.0)
+    if sim.now > 10.0:
+        return None
+    sim.schedule(timeout)
+    return timeout
+
+
+def fall_off_leak(pool):
+    connection = pool.acquire()
+    print("acquired but never used")
+
+
+def one_branch_leaks(sim, slab):
+    timeout = slab._acquire(sim, 1.0)
+    if sim.now > 10.0:
+        timeout.cancel()
+    else:
+        pass
+    return None

@@ -1,0 +1,31 @@
+"""RACE001 clean fixture (linted as module repro.core.fake_race_ok).
+
+Single-writer globals, non-generator writers, and state routed through
+a simcore synchronization type are all fine.
+"""
+
+from repro.simcore import Store
+
+QUEUE = Store()
+SOLO = []
+
+
+def producer(sim):
+    yield sim.timeout(1.0)
+    # Store is simcore-synchronized: exempt even with two writers.
+    QUEUE.append("produced")
+
+
+def consumer(sim):
+    yield sim.timeout(2.0)
+    QUEUE.append("consumed")
+
+
+def only_writer(sim):
+    yield sim.timeout(1.0)
+    SOLO.append("one writer is not a race")
+
+
+def not_a_process():
+    # plain function (no yield): free to touch module state.
+    SOLO.append("setup")

@@ -1,0 +1,23 @@
+"""RACE001 firing fixture (linted as module repro.core.fake_race).
+
+Two distinct sim-process generators write the same module global and
+the same class attribute without simcore synchronization.
+"""
+
+BACKLOG = []
+
+
+class Shared:
+    high_water = 0
+
+
+def producer(sim):
+    yield sim.timeout(1.0)
+    BACKLOG.append("produced")
+    Shared.high_water = sim.now
+
+
+def consumer(sim):
+    yield sim.timeout(2.0)
+    BACKLOG.append("consumed")
+    Shared.high_water = 0

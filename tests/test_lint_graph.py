@@ -1,0 +1,313 @@
+"""Whole-program simlint engine: call graph, taint, races, leaks, cache."""
+
+import json
+import os
+import textwrap
+import time
+
+from repro.lint import ModuleSource, ProjectIndex, get_rule, lint_files
+from repro.lint.cli import main as lint_main
+from repro.lint.dataflow import resolve_summaries
+from repro.lint.graph import ProgramGraph, extract_facts, layer_rank
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def findings_for(name: str, rule_id: str, module: str = None):
+    """Run one rule over one fixture, suppressions applied."""
+    source_module = ModuleSource(fixture(name), module=module)
+    assert source_module.syntax_error is None
+    project = ProjectIndex.build([source_module])
+    rule = get_rule(rule_id)
+    return sorted((f for f in rule.check(source_module, project)
+                   if not source_module.is_suppressed(f.line, f.rule)),
+                  key=lambda f: f.sort_key)
+
+
+def synthetic(module: str, text: str) -> ModuleSource:
+    path = "src/" + module.replace(".", "/") + ".py"
+    return ModuleSource(path, source=textwrap.dedent(text).encode("utf-8"),
+                        module=module)
+
+
+# -- DET101: interprocedural determinism taint --------------------------------
+
+class TestDet101Fixture:
+    def test_firing_lines(self):
+        found = findings_for("det101_taint.py", "DET101",
+                             module="repro.core.fake_taint")
+        assert [f.line for f in found] == [33, 37, 41, 45, 50]
+
+    def test_taint_travels_through_calls(self):
+        found = findings_for("det101_taint.py", "DET101",
+                             module="repro.core.fake_taint")
+        by_line = {f.line: f.message for f in found}
+        # Two-hop wall-clock: refresh() -> scaled_jitter() -> jitter().
+        assert "via scaled_jitter" in by_line[33]
+        # Parameter sink: drive() passes time.time() into record().
+        assert "record" in by_line[45]
+        # Cache-key sink fed by hash().
+        assert "cache-key" in by_line[50]
+
+    def test_clean_fixture(self):
+        assert findings_for("det101_clean.py", "DET101",
+                            module="repro.core.fake_clean") == []
+
+
+# -- LAYER001: layering enforcement -------------------------------------------
+
+class TestLayer001Fixture:
+    def test_firing_lines(self):
+        found = findings_for("layer001_upward.py", "LAYER001",
+                             module="repro.simcore.fake")
+        assert [f.line for f in found] == [7, 8, 10]
+        assert all("upward" in f.message for f in found)
+
+    def test_clean_fixture(self):
+        assert findings_for("layer001_clean.py", "LAYER001",
+                            module="repro.mesh.fake") == []
+
+    def test_layer_ranks(self):
+        assert layer_rank("repro.simcore.sim") == 0
+        assert layer_rank("repro.mesh.router") == 1
+        assert layer_rank("repro.obs.trace") == 1  # sim-time trace: kernel-adjacent
+        assert layer_rank("repro.faults.plans") == 2
+        assert layer_rank("repro.experiments.exhibits") == 3
+        assert layer_rank("repro.serve.app") == 4
+        assert layer_rank("collections.abc") is None
+        assert layer_rank(None) is None
+
+
+# -- RACE001: contested sim-process state -------------------------------------
+
+class TestRace001Fixture:
+    def test_firing_lines(self):
+        found = findings_for("race001_contested.py", "RACE001",
+                             module="repro.core.fake_race")
+        assert [f.line for f in found] == [16, 17, 22, 23]
+        # Each finding names the other writer.
+        assert any("producer" in f.message for f in found)
+        assert any("consumer" in f.message for f in found)
+
+    def test_clean_fixture(self):
+        # Store()-backed global, single-writer global, non-generator writer.
+        assert findings_for("race001_clean.py", "RACE001",
+                            module="repro.core.fake_race_ok") == []
+
+
+# -- LEAK001: slab handles not released ---------------------------------------
+
+class TestLeak001Fixture:
+    def test_firing_lines(self):
+        found = findings_for("leak001_leak.py", "LEAK001")
+        assert [f.line for f in found] == [7, 14, 23]
+
+    def test_messages_name_the_leaked_binding(self):
+        found = findings_for("leak001_leak.py", "LEAK001")
+        assert "'timeout'" in found[0].message
+        assert "'connection'" in found[1].message
+
+    def test_clean_fixture(self):
+        assert findings_for("leak001_clean.py", "LEAK001") == []
+
+
+# -- DET003 satellite: order-insensitive consumers ----------------------------
+
+class TestDet003OrderInsensitiveConsumers:
+    def test_only_order_sensitive_materializations_fire(self):
+        found = findings_for("det003_consumers.py", "DET003")
+        # sum/len/any/all/sorted/set-comp/membership are all clean;
+        # the list and dict comprehensions still fire.
+        assert [f.line for f in found] == [23, 24]
+
+
+# -- call-graph resolution ----------------------------------------------------
+
+class TestCallGraphResolution:
+    def build(self):
+        alpha = synthetic("repro.core.alpha", """
+            import time
+
+            def jitter():
+                return time.time()
+
+            class Gateway:
+                def helper(self):
+                    return 1
+
+                def run(self):
+                    return self.helper()
+
+                @staticmethod
+                def tick():
+                    return jitter()
+
+                @classmethod
+                def spawn(cls):
+                    return cls.tick()
+            """)
+        beta = synthetic("repro.core.beta", """
+            import repro.core.alpha as al
+            from repro.core.alpha import jitter as jj
+
+            def drive():
+                return al.jitter()
+
+            def drive2():
+                return jj()
+            """)
+        return ProgramGraph([extract_facts(alpha), extract_facts(beta)])
+
+    def test_method_calls_via_self(self):
+        graph = self.build()
+        assert graph.call_edges["repro.core.alpha.Gateway.run"] == {
+            "repro.core.alpha.Gateway.helper"}
+
+    def test_decorated_methods_resolve(self):
+        graph = self.build()
+        assert graph.call_edges["repro.core.alpha.Gateway.spawn"] == {
+            "repro.core.alpha.Gateway.tick"}
+        assert graph.call_edges["repro.core.alpha.Gateway.tick"] == {
+            "repro.core.alpha.jitter"}
+
+    def test_aliased_imports_resolve(self):
+        graph = self.build()
+        assert graph.call_edges["repro.core.beta.drive"] == {
+            "repro.core.alpha.jitter"}
+        assert graph.call_edges["repro.core.beta.drive2"] == {
+            "repro.core.alpha.jitter"}
+
+    def test_taint_crosses_module_boundary(self):
+        graph = self.build()
+        summaries, _findings = resolve_summaries(graph)
+        assert "wallclock" in summaries["repro.core.beta.drive"].returns
+        assert "wallclock" in summaries["repro.core.alpha.Gateway.spawn"].returns
+
+
+class TestSccConvergence:
+    def test_mutual_recursion_converges_with_taint(self):
+        loop = synthetic("repro.core.loop", """
+            import time
+
+            def ping(n):
+                if n <= 0:
+                    return time.time()
+                return pong(n - 1)
+
+            def pong(n):
+                return ping(n - 1)
+            """)
+        graph = ProgramGraph([extract_facts(loop)])
+        assert [sorted(scc) for scc in graph.sccs if len(scc) > 1] == [
+            ["repro.core.loop.ping", "repro.core.loop.pong"]]
+        summaries, _findings = resolve_summaries(graph)
+        # The fixpoint must propagate wallclock around the cycle to BOTH.
+        assert "wallclock" in summaries["repro.core.loop.ping"].returns
+        assert "wallclock" in summaries["repro.core.loop.pong"].returns
+
+    def test_self_recursion_terminates(self):
+        rec = synthetic("repro.core.rec", """
+            def countdown(n):
+                if n <= 0:
+                    return 0
+                return countdown(n - 1)
+            """)
+        summaries, _findings = resolve_summaries(
+            ProgramGraph([extract_facts(rec)]))
+        assert summaries["repro.core.rec.countdown"].returns == frozenset()
+
+
+# -- incremental cache --------------------------------------------------------
+
+TAINTED = b'import time\n\n\ndef stamp():\n    return time.time()\n'
+CLEAN = b'def stamp():\n    return 0.0\n'
+
+
+class TestIncrementalCache:
+    def test_edit_invalidates_cached_findings(self, tmp_path):
+        target = tmp_path / "thing.py"
+        target.write_bytes(TAINTED)
+        cache_dir = str(tmp_path / "cache")
+        first = lint_files([str(target)], cache_dir=cache_dir)
+        assert [f.rule for f in first] == ["DET001"]
+
+        # Unchanged file: warm run returns identical findings.
+        warm = lint_files([str(target)], cache_dir=cache_dir)
+        assert [(f.path, f.line, f.col, f.rule, f.message) for f in warm] == \
+            [(f.path, f.line, f.col, f.rule, f.message) for f in first]
+
+        # Editing the file must bust the content-hash key.
+        target.write_bytes(CLEAN)
+        assert lint_files([str(target)], cache_dir=cache_dir) == []
+
+    def test_neighbor_edit_invalidates_program_context(self, tmp_path):
+        # Phase-2 keys include a whole-program digest: adding a
+        # Set-annotated attribute in module B changes module A's verdict.
+        consumer = tmp_path / "consumer.py"
+        consumer.write_bytes(textwrap.dedent("""
+            def order(gateway):
+                return [s for s in gateway.services]
+            """).encode("utf-8"))
+        owner = tmp_path / "owner.py"
+        owner.write_bytes(b"class Gateway:\n    pass\n")
+        cache_dir = str(tmp_path / "cache")
+        files = [str(consumer), str(owner)]
+        assert lint_files(files, cache_dir=cache_dir) == []
+
+        owner.write_bytes(textwrap.dedent("""
+            from typing import Set
+
+
+            class Gateway:
+                def __init__(self):
+                    self.services: Set[str] = set()
+            """).encode("utf-8"))
+        found = lint_files(files, cache_dir=cache_dir)
+        assert [f.rule for f in found] == ["DET003"]
+        assert found[0].path == str(consumer)
+
+    def test_warm_run_is_at_least_3x_faster(self, tmp_path):
+        lint_pkg = os.path.normpath(
+            os.path.join(HERE, "..", "src", "repro", "lint"))
+        files = [
+            os.path.join(lint_pkg, name)
+            for name in sorted(os.listdir(lint_pkg))
+            if name.endswith(".py")]
+        cache_dir = str(tmp_path / "cache")
+
+        start = time.perf_counter()  # simlint: ignore[DET001]
+        cold = lint_files(files, cache_dir=cache_dir)
+        cold_elapsed = time.perf_counter() - start  # simlint: ignore[DET001]
+
+        start = time.perf_counter()  # simlint: ignore[DET001]
+        warm = lint_files(files, cache_dir=cache_dir)
+        warm_elapsed = time.perf_counter() - start  # simlint: ignore[DET001]
+
+        assert [(f.path, f.line, f.rule) for f in warm] == \
+            [(f.path, f.line, f.rule) for f in cold]
+        assert warm_elapsed * 3 <= cold_elapsed, (
+            f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s")
+
+
+# -- parallel sweep parity ----------------------------------------------------
+
+class TestJobsParity:
+    def test_jobs_1_and_4_produce_identical_json(self, tmp_path):
+        reports = []
+        for jobs in (1, 4):
+            out = tmp_path / f"jobs{jobs}.json"
+            code = lint_main([FIXTURES, "--format", "json",
+                              "--output", str(out),
+                              "--baseline", "",
+                              "--no-cache",
+                              "--jobs", str(jobs)])
+            assert code == 1  # the fixture dir is findings-bearing
+            reports.append(out.read_bytes())
+        assert reports[0] == reports[1]
+        payload = json.loads(reports[0])
+        assert payload["findings"], "expected findings over lint_fixtures"
