@@ -1,0 +1,186 @@
+"""Fleet-tier benchmark: fluid integration throughput at cloud scale.
+
+Plain script (not pytest — ``testpaths`` keeps it out of pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+
+Three scenarios, each reported as *slot-updates per second* — one
+slot-update is one (service, backend) flow-step integration, the fleet
+tier's unit of work the way an agenda pop is simcore's:
+
+* ``fluid_day`` — a 3 AZ x 100 backend x 150 service region through a
+  full diurnal day at dt=60s, no scaler or faults: the pure
+  integration hot path (``FleetModel._advance_flows`` + aggregation).
+* ``fluid_ops_day`` — the same region with the Reuse-first scaler and
+  a chaos plan armed: what a fleet_fig20-style exhibit actually pays
+  per region, including settle scans and shard growth.
+* ``des_validation`` — the per-session reference twin at validation
+  scale (the ``fleet/validate.py`` workload), reported as *session
+  events per second* (admissions + departures): the price of one
+  fluid-vs-DES agreement scenario.
+
+Appends to the committed ``BENCH_fleet.json`` perf trajectory (see
+``benchlib``); the CI ``perf-gate`` job re-runs the scenarios fresh
+and fails on >10%% normalized regression.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import benchlib  # noqa: E402
+from repro.faults.plan import Fault, FaultPlan  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    FleetConfig,
+    FleetDemand,
+    FleetFaultEngine,
+    FleetModel,
+    FleetScaler,
+    SessionDES,
+)
+from repro.simcore import Simulator  # noqa: E402
+
+
+def _region(scale: float):
+    config = FleetConfig(azs=3, backends_per_az=max(10, int(100 * scale)),
+                         services=max(10, int(150 * scale)),
+                         dt_s=60.0, sample_every=5)
+    demand = FleetDemand(mean_sessions=800.0, amplitude=0.3,
+                         session_rps=90.0)
+    return config, demand
+
+
+def _slot_updates(model: FleetModel, horizon_s: float) -> int:
+    """Slots integrated per tick x ticks (the advance-loop work)."""
+    slots = sum(len(shard) for shard in model.topology.shards)
+    return int(horizon_s / model.config.dt_s) * slots
+
+
+def _scn_fluid_day(scale: float) -> float:
+    horizon = 86400.0 * min(1.0, scale * 2)
+    sim = Simulator(seed=7)
+    config, demand = _region(scale)
+    model = FleetModel(sim, config, demand)
+    started = time.perf_counter()
+    model.start(horizon)
+    sim.run(until=horizon)
+    wall_s = time.perf_counter() - started
+    model.check_invariants("bench")
+    return _slot_updates(model, horizon) / wall_s
+
+
+def _scn_fluid_ops_day(scale: float) -> float:
+    horizon = 86400.0 * min(1.0, scale * 2)
+    sim = Simulator(seed=7)
+    config, demand = _region(scale)
+    model = FleetModel(sim, config, demand)
+    FleetScaler(sim, model)
+    engine = FleetFaultEngine(sim, model)
+    engine.arm(FaultPlan.of(
+        Fault(kind="az_crash", at=horizon * 0.35, target="az:1",
+              duration_s=2700.0),
+        Fault(kind="backend_crash", at=horizon * 0.55, target="backend:9",
+              duration_s=1200.0),
+        Fault(kind="query_of_death", at=horizon * 0.65, target="service:6",
+              duration_s=1800.0, param=3.0),
+    ))
+    started = time.perf_counter()
+    model.start(horizon)
+    sim.run(until=horizon)
+    wall_s = time.perf_counter() - started
+    model.check_invariants("bench")
+    return _slot_updates(model, horizon) / wall_s
+
+
+def _scn_des_validation(scale: float) -> float:
+    horizon = 1800.0 * min(1.0, scale * 2)
+    sim = Simulator(seed=7)
+    config = FleetConfig(azs=3, backends_per_az=34, services=25,
+                         dt_s=1.0, sample_every=10)
+    demand = FleetDemand(mean_sessions=3200.0 * scale, session_rps=37.5)
+    model = SessionDES(sim, config, demand)
+    started = time.perf_counter()
+    model.start(horizon)
+    sim.run(until=horizon)
+    wall_s = time.perf_counter() - started
+    model.check_invariants("bench")
+    events = model.counters.admitted + model.counters.departed
+    return events / wall_s
+
+
+#: (trajectory scenario name, rate function, full-scale argument) —
+#: same shape as ``bench_runtime.GATE_SCENARIOS`` so the CI perf gate
+#: drives every benchmark family uniformly.
+GATE_SCENARIOS = (
+    ("fleet/fluid_day", _scn_fluid_day, 1.0),
+    ("fleet/fluid_ops_day", _scn_fluid_ops_day, 1.0),
+    ("fleet/des_validation", _scn_des_validation, 1.0),
+)
+
+
+def bench_scenarios(quick: bool) -> dict:
+    scale = 0.25 if quick else 1.0
+    repeats = 2 if quick else 3
+    results = {}
+    for name, fn, full_scale in GATE_SCENARIOS:
+        best = max(fn(full_scale * scale) for _ in range(repeats))
+        results[name] = {"events_per_sec": round(best)}
+        print(f"  {name}: {best:,.0f} events/s")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller region and horizon (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="trajectory path (default: repo "
+                             "BENCH_fleet.json)")
+    options = parser.parse_args(argv)
+    root = benchlib.repo_root()
+    out_path = options.out or os.path.join(root, "BENCH_fleet.json")
+
+    calib = benchlib.calibrate()
+    print(f"calibration: {calib:,.0f} ops/s")
+    print("fleet scenarios:")
+    scenarios = bench_scenarios(options.quick)
+
+    sha = benchlib.git_sha(root)
+    date = benchlib.utc_date()
+    report = {
+        "git_sha": sha,
+        "date": date,
+        "calib_ops_per_sec": round(calib),
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": options.quick,
+        },
+        "scenarios": scenarios,
+    }
+    if options.quick:
+        # Quick rates are not comparable to full-scale baselines; print
+        # the report but leave the committed trajectory untouched.
+        print(json.dumps(report, indent=2, sort_keys=True))
+        print("quick run: trajectory not updated")
+        return 0
+
+    entries = [
+        {"git_sha": sha, "date": date, "scenario": name,
+         "events_per_sec": result["events_per_sec"],
+         "calib_ops_per_sec": round(calib)}
+        for name, result in scenarios.items()
+    ]
+    benchlib.append_trajectory(out_path, entries, report)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,7 @@ Plain script (not pytest — ``testpaths`` keeps it out of tier-1)::
     PYTHONPATH=src python benchmarks/bench_obs.py
     PYTHONPATH=src python benchmarks/bench_obs.py --quick
 
-Writes ``BENCH_obs.json`` (override with ``--out``) with two sections:
+Two sections:
 
 * ``request_path`` — wall-clock for a fixed canal-mesh request loop
   under no tracer / 10%% sampling / 100%% capture, plus each mode's
@@ -15,6 +15,13 @@ Writes ``BENCH_obs.json`` (override with ``--out``) with two sections:
   that gates the PR: the budget is <= 5%%.
 * ``collector`` — span-record throughput and ring-buffer eviction cost
   on the collector alone (no simulation in the loop).
+
+Appends to the committed ``BENCH_obs.json`` perf trajectory (see
+``benchlib``): one dated ``{git_sha, scenario, events_per_sec,
+calib_ops_per_sec}`` entry per gated scenario, plus the full report as
+``last_run``. The CI ``perf-gate`` job re-runs the gated scenarios
+fresh and compares normalized rates against the latest committed
+entries.
 
 Tracing must never perturb the model, so the script also asserts the
 request latencies are identical across all three modes before timing
@@ -30,6 +37,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+import benchlib  # noqa: E402
 from repro.experiments.testbed import build_testbed  # noqa: E402
 from repro.mesh import HttpRequest  # noqa: E402
 from repro.obs import (  # noqa: E402
@@ -99,6 +107,7 @@ def bench_request_path(quick: bool) -> dict:
             raise AssertionError(
                 f"tracing mode {name!r} perturbed the simulation")
         results[name] = {"wall_s": round(best_s, 4),
+                         "requests_per_sec": round(requests / best_s),
                          "traces_recorded": recorded}
 
     base_s = results["baseline"]["wall_s"]
@@ -116,23 +125,23 @@ def bench_request_path(quick: bool) -> dict:
 # collector — raw span-record throughput, with and without eviction.
 
 
+def _record_all(spans: int, max_traces: int):
+    collector = TraceCollector(max_traces=max_traces)
+    started = time.perf_counter()
+    for index in range(spans):
+        collector.record(Span(
+            trace_id=index // 4 + 1, source="bench", layer="l7",
+            start_s=float(index), end_s=float(index) + 1.0,
+            pod="p1", bytes_out=64, bytes_in=32,
+            span_id=index % 4 + 1, parent_id=index % 4, name="s"))
+    wall_s = time.perf_counter() - started
+    return wall_s, collector
+
+
 def bench_collector(quick: bool) -> dict:
     spans = 50_000 if quick else 200_000
-
-    def record_all(max_traces):
-        collector = TraceCollector(max_traces=max_traces)
-        started = time.perf_counter()
-        for index in range(spans):
-            collector.record(Span(
-                trace_id=index // 4 + 1, source="bench", layer="l7",
-                start_s=float(index), end_s=float(index) + 1.0,
-                pod="p1", bytes_out=64, bytes_in=32,
-                span_id=index % 4 + 1, parent_id=index % 4, name="s"))
-        wall_s = time.perf_counter() - started
-        return wall_s, collector
-
-    unbounded_s, unbounded = record_all(max_traces=spans)
-    bounded_s, bounded = record_all(max_traces=256)
+    unbounded_s, unbounded = _record_all(spans, max_traces=spans)
+    bounded_s, bounded = _record_all(spans, max_traces=256)
     assert len(bounded.traces()) == 256
     # Eviction must not lose the traffic aggregate.
     assert bounded.pod_traffic_report() == unbounded.pod_traffic_report()
@@ -145,23 +154,50 @@ def bench_collector(quick: bool) -> dict:
     }
 
 
+def _gate_collector_record(spans: int) -> float:
+    wall_s, _collector = _record_all(spans, max_traces=spans)
+    return spans / wall_s
+
+
+#: Scenarios the CI perf gate re-runs fresh: (trajectory scenario name,
+#: rate function, full-scale argument). Same shape as
+#: ``bench_runtime.GATE_SCENARIOS`` so the gate drives them uniformly.
+#: The request path is deliberately NOT here: its ~0.1s timing window
+#: is too jittery to compare across runs even normalized, so CI gates
+#: it through ``--max-disabled-overhead`` instead — the overhead ratio
+#: divides out machine speed within a single process.
+GATE_SCENARIOS = (
+    ("collector/record", _gate_collector_record, 200_000),
+)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller iteration counts (CI smoke)")
-    parser.add_argument("--out", default="BENCH_obs.json",
-                        help="output JSON path")
+    parser.add_argument("--out", default=None,
+                        help="trajectory path (default: repo "
+                             "BENCH_obs.json)")
     parser.add_argument("--max-disabled-overhead", type=float, default=None,
                         help="fail (exit 1) if disabled-mode overhead "
                              "exceeds this ratio, e.g. 1.05")
     options = parser.parse_args(argv)
+    root = benchlib.repo_root()
+    out_path = options.out or os.path.join(root, "BENCH_obs.json")
 
+    calib = benchlib.calibrate()
+    print(f"calibration: {calib:,.0f} ops/s")
     print("request path:")
     request_path = bench_request_path(options.quick)
     print("collector:")
     collector = bench_collector(options.quick)
 
+    sha = benchlib.git_sha(root)
+    date = benchlib.utc_date()
     report = {
+        "git_sha": sha,
+        "date": date,
+        "calib_ops_per_sec": round(calib),
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -170,21 +206,41 @@ def main(argv=None) -> int:
         "request_path": request_path,
         "collector": collector,
     }
-    with open(options.out, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {options.out}")
 
+    budget_failed = False
     if options.max_disabled_overhead is not None:
         overhead = request_path["disabled"]["overhead_vs_baseline"]
         if overhead > options.max_disabled_overhead:
             print(f"FAIL: disabled-tracing overhead {overhead:.3f}x "
                   f"exceeds budget {options.max_disabled_overhead:.3f}x")
-            return 1
-        print(f"disabled-tracing overhead {overhead:.3f}x within "
-              f"budget {options.max_disabled_overhead:.3f}x")
+            budget_failed = True
+        else:
+            print(f"disabled-tracing overhead {overhead:.3f}x within "
+                  f"budget {options.max_disabled_overhead:.3f}x")
 
-    return 0
+    if options.quick:
+        # Quick rates are not comparable to full-scale baselines; print
+        # the report but leave the committed trajectory untouched. An
+        # explicit --out still gets the report (CI uploads it).
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if options.out:
+            with open(options.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print("quick run: committed trajectory not updated")
+        return 1 if budget_failed else 0
+
+    entries = [
+        {"git_sha": sha, "date": date, "scenario": "request_path/disabled",
+         "events_per_sec": request_path["disabled"]["requests_per_sec"],
+         "calib_ops_per_sec": round(calib)},
+        {"git_sha": sha, "date": date, "scenario": "collector/record",
+         "events_per_sec": collector["record_per_sec"],
+         "calib_ops_per_sec": round(calib)},
+    ]
+    benchlib.append_trajectory(out_path, entries, report)
+    print(f"wrote {out_path}")
+    return 1 if budget_failed else 0
 
 
 if __name__ == "__main__":

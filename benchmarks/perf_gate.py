@@ -3,9 +3,10 @@
 Re-runs the gated benchmark scenarios at full scale with a
 repeat-and-take-best loop, normalizes each rate by a same-process
 calibration spin loop (see ``benchlib``), and compares against the
-latest committed entry per scenario in ``BENCH_simcore.json`` and
-``BENCH_runtime.json``. Exits non-zero if any scenario's normalized
-rate regressed by more than the tolerance (default 10%).
+latest committed entry per scenario in ``BENCH_simcore.json``,
+``BENCH_runtime.json``, ``BENCH_obs.json``, and ``BENCH_fleet.json``.
+Exits non-zero if any scenario's normalized rate regressed by more
+than the tolerance (default 10%).
 
 ::
 
@@ -30,6 +31,8 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+import bench_fleet  # noqa: E402
+import bench_obs  # noqa: E402
 import bench_runtime  # noqa: E402
 import bench_simcore  # noqa: E402
 import benchlib  # noqa: E402
@@ -57,15 +60,19 @@ def gate_checks(repeats):
             best = max(best, events / elapsed)
         yield key, best, baseline
 
-    rt_baselines = benchlib.baseline_rates(
-        os.path.join(root, "BENCH_runtime.json"))
-    for name, fn, full_n in bench_runtime.GATE_SCENARIOS:
-        baseline = rt_baselines.get(name)
-        if baseline is None:
-            print(f"  {name}: no committed baseline, skipped")
-            continue
-        best = max(fn(full_n) for _ in range(repeats))
-        yield name, best, baseline
+    # bench_runtime, bench_obs, and bench_fleet all expose the same
+    # (name, rate_fn, full_scale_arg) GATE_SCENARIOS shape.
+    for module, trajectory in ((bench_runtime, "BENCH_runtime.json"),
+                               (bench_obs, "BENCH_obs.json"),
+                               (bench_fleet, "BENCH_fleet.json")):
+        baselines = benchlib.baseline_rates(os.path.join(root, trajectory))
+        for name, fn, full_n in module.GATE_SCENARIOS:
+            baseline = baselines.get(name)
+            if baseline is None:
+                print(f"  {name}: no committed baseline, skipped")
+                continue
+            best = max(fn(full_n) for _ in range(repeats))
+            yield name, best, baseline
 
 
 def main(argv=None):

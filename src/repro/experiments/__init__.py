@@ -40,6 +40,12 @@ from .comparison import (
     fig15_southbound_bandwidth,
 )
 from .deployment_costs import table5_cost_reduction
+from .fleet_scale import (
+    fleet_fig13_cpu_at_scale,
+    fleet_fig17_18_scaling_at_scale,
+    fleet_fig19_sharding_at_scale,
+    fleet_fig20_daily_operations_at_scale,
+)
 from .recovery import fig8_plan, fig8_recovery
 from .health_checks import (
     table6_health_check_excess,
@@ -102,6 +108,31 @@ EXPERIMENTS.update(CASES_EXPERIMENTS)
 #: Calibration robustness + the §4.4 LB-latency claim.
 EXPERIMENTS.update(SENSITIVITY)
 
+#: The fluid-flow scale tier's exhibits: the same §5.5 claims at the
+#: paper's true operating point (O(10k) replicas, O(1M) sessions,
+#: multi-region). See ``repro.fleet`` and DESIGN.md §2i.
+FLEET_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fleet_fig13": fleet_fig13_cpu_at_scale,
+    "fleet_fig17_18": fleet_fig17_18_scaling_at_scale,
+    "fleet_fig19": fleet_fig19_sharding_at_scale,
+    "fleet_fig20": fleet_fig20_daily_operations_at_scale,
+}
+EXPERIMENTS.update(FLEET_EXPERIMENTS)
+
+#: Exhibit tiers: "testbed" = per-session DES at testbed scale (the
+#: default everywhere), "fleet" = the fluid scale tier. One registry
+#: so the CLI filter, ``--list`` annotations, and the serve job specs
+#: all agree.
+TIERS = ("testbed", "fleet")
+
+
+def exhibit_tier(exp_id: str) -> str:
+    """Which tier an exhibit belongs to ("testbed" or "fleet")."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; "
+                       f"known: {sorted(EXPERIMENTS)}")
+    return "fleet" if exp_id in FLEET_EXPERIMENTS else "testbed"
+
 
 def exhibit_ids() -> List[str]:
     """The sorted catalog of known exhibit ids.
@@ -130,13 +161,16 @@ __all__ = [
     "ABLATIONS",
     "CASES_EXPERIMENTS",
     "EXPERIMENTS",
+    "FLEET_EXPERIMENTS",
     "SENSITIVITY",
+    "TIERS",
     "ExperimentResult",
     "Series",
     "Table",
     "build_production_gateway",
     "build_testbed",
     "exhibit_ids",
+    "exhibit_tier",
     "fig8_plan",
     "fig8_recovery",
     "find_knee_rps",

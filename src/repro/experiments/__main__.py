@@ -9,6 +9,12 @@ Usage::
     python -m repro.experiments all --jobs 0       # ... on every core
     python -m repro.experiments fig11 --no-cache   # force recompute
     python -m repro.experiments --report out fig11 # also drop artifacts
+    python -m repro.experiments all --tier fleet   # fluid scale tier only
+    python -m repro.experiments --list --tier all  # every id + its tier
+
+``--tier`` scopes ``all`` and ``--list`` to the per-session testbed
+exhibits (default), the ``repro.fleet`` fluid-tier exhibits, or both;
+exhibits named explicitly always run regardless of tier.
 
 Runs go through ``repro.runtime``:
 
@@ -41,7 +47,7 @@ import argparse
 import sys
 
 from ..runtime import RunSpec, SweepExecutor, run_exhibit, use_executor
-from . import EXPERIMENTS, exhibit_ids
+from . import EXPERIMENTS, exhibit_ids, exhibit_tier
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -51,7 +57,14 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("targets", nargs="*", metavar="exhibit",
                         help="exhibit ids to run, or 'all'")
     parser.add_argument("--list", action="store_true", dest="list_exhibits",
-                        help="print the sorted known exhibit ids and exit")
+                        help="print the sorted known exhibit ids (with "
+                             "their tier) and exit")
+    parser.add_argument("--tier", choices=("testbed", "fleet", "all"),
+                        default="testbed",
+                        help="which tier 'all' and --list cover: the "
+                             "per-session testbed exhibits (default), "
+                             "the fluid fleet-scale exhibits, or both; "
+                             "explicitly named exhibits always run")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (0 = all cores; default 1)")
     parser.add_argument("--no-cache", action="store_true",
@@ -79,16 +92,20 @@ def main(argv) -> int:
         options = _parser().parse_args(argv[1:])
     except SystemExit as exit_:  # argparse error (2) or --help (0)
         return 0 if exit_.code == 0 else 1
+    def in_tier(exp_id: str) -> bool:
+        return options.tier in ("all", exhibit_tier(exp_id))
+
     if options.list_exhibits:
         for exp_id in exhibit_ids():
-            print(exp_id)
+            if in_tier(exp_id):
+                print(f"{exp_id}  [{exhibit_tier(exp_id)}]")
         return 0
     if not options.targets:
         _parser().print_usage()
         print("exhibits:", " ".join(EXPERIMENTS))
         return 1
     if options.targets == ["all"]:
-        targets = list(EXPERIMENTS)
+        targets = [exp_id for exp_id in EXPERIMENTS if in_tier(exp_id)]
     else:
         targets = options.targets
         unknown = [t for t in targets if t not in EXPERIMENTS]

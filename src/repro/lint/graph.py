@@ -74,6 +74,7 @@ LAYERS: Tuple[Tuple[str, int], ...] = (
     ("repro.obs.trace", 1),
     ("repro.obs", 2),
     ("repro.faults", 2),
+    ("repro.fleet", 2),
     ("repro.runtime", 3),
     ("repro.experiments", 3),
     ("repro.lint", 3),

@@ -493,9 +493,12 @@ class DynamicImportRule(Rule):
     #: ``repro.simcore`` is in because *every* exhibit's cache entry is
     #: a function of the simulation kernel (agenda engines included):
     #: a dynamic import there would hide engine changes from every
-    #: cache key in the repository.
+    #: cache key in the repository. ``repro.fleet`` is in because the
+    #: fleet_* exhibit family's results are a function of the fluid
+    #: tier's physics.
     default_packages: Tuple[str, ...] = ("repro.experiments",
                                          "repro.faults",
+                                         "repro.fleet",
                                          "repro.obs.trace",
                                          "repro.simcore")
 

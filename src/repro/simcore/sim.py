@@ -227,6 +227,25 @@ class Simulator:
             if len(heap) > _AUTO_MIGRATE and self._auto:
                 self._migrate()
 
+    def call_later(self, delay: float, call, arg: Any = None) -> None:
+        """Schedule ``call(arg)`` at ``now + delay`` on the direct-call path.
+
+        The public face of the allocation-free agenda entry: no
+        :class:`Event` is created, nothing can be waited on, and the
+        loop invokes ``call(arg)`` directly when the entry fires. This
+        is the right primitive for fixed-step model updates (the fluid
+        tier in ``repro.fleet`` schedules every flow step through it)
+        and other fire-and-forget callbacks: entries are plain 4-tuples,
+        so the calendar agenda batches and drains them at full speed.
+
+        Callbacks fire in ``(when, seq)`` order like everything else;
+        exceptions propagate out of :meth:`run`/:meth:`step`. Unlike
+        event callbacks there is no cancellation handle — model code
+        that needs to cancel should keep its own epoch/generation
+        counter and no-op stale firings.
+        """
+        self._schedule_call(call, arg, delay)
+
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
         """Create an untriggered event bound to this simulator."""

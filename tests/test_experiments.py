@@ -21,14 +21,24 @@ class TestHarness:
         }
         assert expected <= set(EXPERIMENTS)
         # Everything beyond the paper exhibits is an ablation study, a
-        # scripted production case, a robustness study, or the chaos /
-        # causal-tracing exhibits.
+        # scripted production case, a robustness study, the chaos /
+        # causal-tracing exhibits, or the fleet-scale family.
         from repro.experiments import (ABLATIONS, CASES_EXPERIMENTS,
-                                       SENSITIVITY)
+                                       FLEET_EXPERIMENTS, SENSITIVITY)
         assert (set(EXPERIMENTS) - expected
                 == set(ABLATIONS) | set(CASES_EXPERIMENTS)
-                | set(SENSITIVITY)
+                | set(SENSITIVITY) | set(FLEET_EXPERIMENTS)
                 | {"fig8_recovery", "trace_breakdown"})
+
+    def test_exhibit_tiers(self):
+        from repro.experiments import (FLEET_EXPERIMENTS, TIERS,
+                                       exhibit_tier)
+        assert TIERS == ("testbed", "fleet")
+        assert exhibit_tier("fig2") == "testbed"
+        for exp_id in FLEET_EXPERIMENTS:
+            assert exhibit_tier(exp_id) == "fleet"
+        with pytest.raises(KeyError):
+            exhibit_tier("fig99")
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

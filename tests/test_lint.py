@@ -184,6 +184,35 @@ class TestCache001DynamicImports:
         assert [f.line for f in found] == [7, 15]
 
 
+class TestFleetLintCoverage:
+    """The fluid tier is state-layer code: full determinism scrutiny."""
+
+    def test_wall_clock_fires_in_fleet(self):
+        found = findings_for("fleet_violations.py", "DET001",
+                             module="repro.fleet.fixture")
+        assert [f.line for f in found] == [18]
+
+    def test_unseeded_rng_fires_in_fleet(self):
+        found = findings_for("fleet_violations.py", "DET002",
+                             module="repro.fleet.fixture")
+        assert [f.line for f in found] == [22]
+
+    def test_dynamic_import_fires_in_fleet(self):
+        # fleet modules feed the fleet_* exhibits' cache keys, so
+        # CACHE001's package list includes them.
+        found = findings_for("fleet_violations.py", "CACHE001",
+                             module="repro.fleet.fixture")
+        assert [f.line for f in found] == [9]
+
+    def test_fleet_package_in_src_is_clean(self):
+        fleet_dir = os.path.join(SRC_REPRO, "fleet")
+        files = [os.path.join(fleet_dir, name)
+                 for name in sorted(os.listdir(fleet_dir))
+                 if name.endswith(".py")]
+        assert len(files) >= 8
+        assert lint_files(files) == []
+
+
 class TestSlab001SlabRecycle:
     def test_positive_lines(self):
         found = findings_for("slab001_stale_callbacks.py", "SLAB001",

@@ -58,6 +58,13 @@ class TestDet101Fixture:
         assert findings_for("det101_clean.py", "DET101",
                             module="repro.core.fake_clean") == []
 
+    def test_fleet_is_a_state_module(self):
+        # repro.fleet is rank 2 and not DET001-allowlisted, so the
+        # interprocedural taint rule covers the fluid tier by default.
+        found = findings_for("det101_taint.py", "DET101",
+                             module="repro.fleet.fake")
+        assert [f.line for f in found] == [33, 37, 41, 45, 50]
+
 
 # -- LAYER001: layering enforcement -------------------------------------------
 
@@ -77,10 +84,24 @@ class TestLayer001Fixture:
         assert layer_rank("repro.mesh.router") == 1
         assert layer_rank("repro.obs.trace") == 1  # sim-time trace: kernel-adjacent
         assert layer_rank("repro.faults.plans") == 2
+        assert layer_rank("repro.fleet.model") == 2  # peer of repro.faults
         assert layer_rank("repro.experiments.exhibits") == 3
         assert layer_rank("repro.serve.app") == 4
         assert layer_rank("collections.abc") is None
         assert layer_rank(None) is None
+
+    def test_fleet_upward_imports_fire(self):
+        # rank 2 -> experiments (3) and serve (4) are both upward.
+        found = findings_for("fleet_violations.py", "LAYER001",
+                             module="repro.fleet.fixture")
+        assert [f.line for f in found] == [13, 14]
+
+    def test_fleet_same_rank_fault_import_is_legal(self):
+        # fleet's validation scenarios build FaultPlans: faults sits at
+        # the same rank, and LAYER001 only flags *upward* edges.
+        found = findings_for("layer001_clean.py", "LAYER001",
+                             module="repro.fleet.fake")
+        assert found == []
 
 
 # -- RACE001: contested sim-process state -------------------------------------

@@ -205,12 +205,25 @@ class TestCLI:
         assert all(exp_id in captured.out for exp_id in EXPERIMENTS)
 
     def test_list_prints_sorted_ids_and_exits_0(self, capsys):
+        code = cli_main(["prog", "--list", "--tier", "all"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.splitlines()
+        listed = [line.split()[0] for line in lines]
+        assert listed == sorted(EXPERIMENTS)
+        assert listed == exhibit_ids()  # the listing serve validates with
+        # Every id carries its scheduling tier annotation.
+        assert all(line.split()[1] in ("[testbed]", "[fleet]")
+                   for line in lines)
+
+    def test_list_default_tier_is_testbed(self, capsys):
+        from repro.experiments import exhibit_tier
         code = cli_main(["prog", "--list"])
         captured = capsys.readouterr()
         assert code == 0
-        listed = captured.out.split()
-        assert listed == sorted(EXPERIMENTS)
-        assert listed == exhibit_ids()  # the listing serve validates with
+        listed = [line.split()[0] for line in captured.out.splitlines()]
+        assert listed == [exp_id for exp_id in exhibit_ids()
+                          if exhibit_tier(exp_id) == "testbed"]
 
     def test_single_exhibit_with_jobs_and_no_cache(self, capsys):
         code = cli_main(["prog", "fig17", "--jobs", "2", "--no-cache"])
