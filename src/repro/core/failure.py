@@ -163,10 +163,25 @@ class FailureInjector:
 
     # -- query-of-death cascade (§4.2's shuffle-sharding motivator) ---------------
     def query_of_death(self, service_id: int) -> List[FailureEvent]:
-        """Take down every backend of one service, one by one."""
+        """Take down every backend of one service, one by one.
+
+        With resilience policies installed on the gateway, the cascade
+        is *contained*: each poisoned backend's death feeds the
+        service's circuit breaker as windowed dispatch failures, and
+        the cascade halts as soon as the breaker opens — the poison
+        query stops being forwarded, so the remaining backends live.
+        """
+        policies = getattr(self.gateway, "resilience", None)
         events = []
         for backend in list(self.gateway.service_backends.get(service_id, ())):
+            if policies is not None and not policies.allow_dispatch(
+                    service_id, self.sim.now):
+                break
             events.append(self.fail_backend(backend.name))
+            if policies is not None:
+                policies.record_dispatch(
+                    service_id, self.sim.now, ok=False,
+                    count=policies.config.qod_failures_per_backend)
         return events
 
     def recover_service(self, service_id: int) -> None:

@@ -19,8 +19,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..mesh.policy import RateLimiter
-from ..netsim import AzAwareResolver, FiveTuple
+from ..netsim import AzAwareResolver, FiveTuple, ResolutionError
 from ..obs.runtime import get_telemetry
+from ..resilience import (
+    BulkheadRejected,
+    CircuitOpenError,
+    ResiliencePolicies,
+)
 from ..simcore import Simulator
 from .backend import Backend
 from .redirector import DeliveryResult, DisaggregatedLB
@@ -80,7 +85,22 @@ class MeshGateway:
         #: Services currently quarantined (their load leaves the shared
         #: backends; see sandbox.py).
         self.sandboxed: Dict[int, Backend] = {}
+        #: Installed resilience policy set (None = unprotected; every
+        #: consultation below guards on this so unprotected runs are
+        #: byte-identical with the pre-resilience gateway).
+        self.resilience: Optional[ResiliencePolicies] = None
         self._backend_counter = 0
+
+    def install_resilience(self, policies: ResiliencePolicies) -> None:
+        """Attach a policy set and feed it the gateway's water levels."""
+        policies.water_source = self._max_water_level
+        self.resilience = policies
+
+    def _max_water_level(self) -> float:
+        """Worst backend water level — the degradation input signal."""
+        levels = [backend.water_level() for backend in self.all_backends
+                  if backend.is_healthy]
+        return max(levels) if levels else 0.0
 
     # -- deployment -----------------------------------------------------------
     def deploy_backend(self, az: str,
@@ -120,11 +140,25 @@ class MeshGateway:
                                            self.backends_by_az)
         except ShardingError:
             # Combination space exhausted: grow the smallest AZ pools
-            # and retry once.
-            for az in self.backends_by_az:
-                self.deploy_backend(az)
-            backends = self.sharder.assign(service.service_id,
-                                           self.backends_by_az)
+            # and retry once. Only the smallest pools — growing every
+            # AZ would over-provision regions whose pools are already
+            # large enough to host more combinations.
+            smallest = min(len(pool)
+                           for pool in self.backends_by_az.values())
+            for az in sorted(self.backends_by_az):
+                if len(self.backends_by_az[az]) == smallest:
+                    self.deploy_backend(az)
+            try:
+                backends = self.sharder.assign(service.service_id,
+                                               self.backends_by_az)
+            except ShardingError as exc:
+                raise ShardingError(
+                    f"cannot place service {service.qualified_name}: "
+                    f"combination space still exhausted after growing "
+                    f"the smallest AZ pools (size {smallest} -> "
+                    f"{smallest + 1}); deploy more backends or lower "
+                    f"backends_per_service_per_az/azs_per_service"
+                ) from exc
         for backend in backends:
             backend.install_service(service.service_id)
         self.service_backends[service.service_id] = list(backends)
@@ -346,25 +380,55 @@ class MeshGateway:
         child span.
         """
         start = self.sim.now
+        policies = self.resilience
+        if policies is not None and not policies.allow_dispatch(
+                service_id, self.sim.now):
+            raise CircuitOpenError(
+                f"service {service_id}'s circuit breaker is "
+                f"{policies.breaker_state(service_id)}")
         l7_id = trace.reserve_id() if trace is not None else 0
-        result = self.deliver(service_id, flow, is_syn, client_az)
-        if result.is_new_flow:
-            self._track_session(result.replica)
         service = self.registry.services.get(service_id)
+        tenant = service.tenant.name if service is not None else ""
+        try:
+            result = self.deliver(service_id, flow, is_syn, client_az)
+            if result.is_new_flow:
+                self._track_session(result.replica)
+        except (NoBackendAvailable, ResolutionError):
+            # Both shapes of "nothing to dispatch to" feed the breaker.
+            if policies is not None:
+                policies.record_dispatch(service_id, self.sim.now,
+                                         ok=False)
+            raise
         weight = service.request_weight if service is not None else 1.0
-        yield from result.replica.process_request(weight, trace=trace,
-                                                  parent_id=l7_id)
+        backend_name = result.replica.backend_name
+        if policies is not None and not policies.acquire_slot(
+                tenant, backend_name):
+            raise BulkheadRejected(
+                f"tenant {tenant!r} is at its concurrency cap on "
+                f"{backend_name}")
+        try:
+            yield from result.replica.process_request(weight, trace=trace,
+                                                      parent_id=l7_id)
+        finally:
+            if policies is not None:
+                policies.release_slot(tenant, backend_name)
+        if policies is not None:
+            policies.record_dispatch(service_id, self.sim.now, ok=True)
         get_telemetry().inc("gateway_requests_total",
                             service=str(service_id),
                             replica=result.replica.name)
         if trace is not None:
+            annotations = dict(
+                replica=result.replica.name,
+                redirection_hops=result.redirection_hops,
+                new_flow=result.is_new_flow,
+                tunneled=self.config.session_aggregation)
+            if policies is not None:
+                annotations["breaker"] = policies.breaker_state(service_id)
             trace.add("gateway-l7", "l7", start, self.sim.now,
                       parent_id=parent_id, span_id=l7_id,
                       source=f"gateway/{result.replica.name}",
-                      replica=result.replica.name,
-                      redirection_hops=result.redirection_hops,
-                      new_flow=result.is_new_flow,
-                      tunneled=self.config.session_aggregation)
+                      **annotations)
         return result
 
     def _track_session(self, replica: Replica) -> None:

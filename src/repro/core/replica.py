@@ -42,11 +42,15 @@ class Replica:
     """One gateway VM."""
 
     def __init__(self, sim: Simulator, name: str, az: str,
-                 config: ReplicaConfig = ReplicaConfig()):
+                 config: ReplicaConfig = ReplicaConfig(),
+                 backend: str = ""):
         self.sim = sim
         self.name = name
         self.az = az
         self.config = config
+        #: Name of the backend (replica group) this VM belongs to —
+        #: the bulkhead's compartment key at replica admission.
+        self.backend_name = backend
         self.healthy = True
         #: Set when the replica is draining (scheduled to go offline):
         #: it still serves existing flows but must not accept new ones.
@@ -56,6 +60,9 @@ class Replica:
         # Session accounting (underlay sessions on the SmartNIC).
         self.sessions_used = 0
         self.requests_served = 0
+        #: DES-mode requests currently executing (or queued) on the
+        #: CPU — what the bulkhead's compartments cap.
+        self.inflight = 0
         self._cpu: Optional[CpuResource] = None
 
     # -- DES mode ------------------------------------------------------------
@@ -78,14 +85,16 @@ class Replica:
         cost = sample_service_time(self.sim.rng,
                                    self.config.request_cost_s * weight,
                                    self.config.request_cost_sigma)
-        if trace is None:
-            yield from self.cpu.execute(cost)
-            return
         start = self.sim.now
-        yield from self.cpu.execute(cost)
-        trace.add("replica-exec", "l7", start, self.sim.now,
-                  parent_id=parent_id, source=f"replica/{self.name}",
-                  cpu_s=cost)
+        self.inflight += 1
+        try:
+            yield from self.cpu.execute(cost)
+        finally:
+            self.inflight -= 1
+        if trace is not None:
+            trace.add("replica-exec", "l7", start, self.sim.now,
+                      parent_id=parent_id, source=f"replica/{self.name}",
+                      cpu_s=cost)
 
     # -- fluid mode -----------------------------------------------------------
     def set_service_rps(self, service_id: int, rps: float,

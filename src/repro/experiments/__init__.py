@@ -47,6 +47,7 @@ from .fleet_scale import (
     fleet_fig20_daily_operations_at_scale,
 )
 from .recovery import fig8_plan, fig8_recovery
+from .resilience import fig8_resilience, resilience_plan
 from .health_checks import (
     table6_health_check_excess,
     table7_health_check_reduction,
@@ -72,6 +73,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "table2": table2_update_frequency,
     "table3": table3_l7_adoption,
     "fig8_recovery": fig8_recovery,
+    "fig8_resilience": fig8_resilience,
     "fig10": fig10_latency_light_workloads,
     "fig11": fig11_latency_vs_rps,
     "fig12": fig12_crypto_cpu_saving,
@@ -173,8 +175,10 @@ __all__ = [
     "exhibit_tier",
     "fig8_plan",
     "fig8_recovery",
+    "fig8_resilience",
     "find_knee_rps",
     "light_load_latency",
+    "resilience_plan",
     "run",
     "run_all",
 ]

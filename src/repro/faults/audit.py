@@ -31,6 +31,20 @@ it agrees with what the bookkeeping claims. The catalog:
 ``controlplane-counters``
     Push/byte totals are non-negative and monotone; the injected push
     delay is never negative.
+``breaker-legality``
+    Every circuit-breaker transition recorded by the gateway's
+    installed resilience policies is a legal state-machine edge
+    (closed→open, open→half_open, half_open→closed/open) and
+    transition times never regress — a breaker that "recovers"
+    without passing through half-open is a mesh bug.
+``retry-amplification``
+    Recorded retries never exceed ``first_attempts × (max_attempts
+    − 1)`` — the configured amplification cap; more means the retry
+    loop leaked attempts past its budget.
+
+The resilience checks run only when the gateway has a policy set
+installed (``gateway.resilience``), so unprotected runs audit
+exactly what they did before.
 
 A failed invariant raises :class:`InvariantViolation` (an
 ``AssertionError``: a violated invariant is a bug in the simulation,
@@ -44,6 +58,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..obs.runtime import get_telemetry
+from ..resilience import BreakerIllegalTransition
 
 __all__ = ["InvariantAuditor", "InvariantViolation"]
 
@@ -85,6 +100,8 @@ class InvariantAuditor:
             checks += self._check_availability(context)
             checks += self._check_dns(context)
             checks += self._check_water_levels(context)
+            if getattr(self.gateway, "resilience", None) is not None:
+                checks += self._check_resilience(context)
         checks += self._check_counters_monotone(context)
         if self.controlplane is not None:
             checks += self._check_controlplane(context)
@@ -198,6 +215,26 @@ class InvariantAuditor:
                     f"backend {backend.name} water level {level:.3f} "
                     f"outside [0, 1]", context)
         return 1
+
+    def _check_resilience(self, context: str) -> int:
+        """Breaker state-machine legality + retry amplification cap."""
+        policies = self.gateway.resilience
+        for service_id in sorted(policies.breakers):
+            breaker = policies.breakers[service_id]
+            try:
+                breaker.audit_transitions()
+            except BreakerIllegalTransition as exc:
+                self._violate("breaker-legality", str(exc), context)
+        if policies.retry is not None:
+            retry = policies.retry
+            bound = retry.amplification_bound()
+            if retry.retries > bound:
+                self._violate(
+                    "retry-amplification",
+                    f"{retry.retries} retries exceed the cap of {bound} "
+                    f"({retry.first_attempts} first attempts × "
+                    f"{retry.max_retries} max retries)", context)
+        return 2
 
     # -- telemetry / control-plane invariants --------------------------------
     def _check_counters_monotone(self, context: str) -> int:

@@ -79,6 +79,9 @@ def sojourn_p99_s(rho: float, c: int, service_s: float) -> float:
 def weighted_percentile(values: Sequence[float], weights: Sequence[float],
                         p: float) -> float:
     """Weighted percentile by cumulative weight (p in [0, 100])."""
+    if not 0.0 <= p <= 100.0:
+        # NaN fails both comparisons and lands here too.
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
     if len(values) != len(weights):
         raise ValueError("values and weights must have the same length")
     pairs: List[Tuple[float, float]] = sorted(

@@ -72,6 +72,7 @@ LAYERS: Tuple[Tuple[str, int], ...] = (
     ("repro.obs.profiler", 1),
     ("repro.obs.runtime", 1),
     ("repro.obs.trace", 1),
+    ("repro.resilience", 1),
     ("repro.obs", 2),
     ("repro.faults", 2),
     ("repro.fleet", 2),

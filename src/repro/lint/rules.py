@@ -495,11 +495,15 @@ class DynamicImportRule(Rule):
     #: a dynamic import there would hide engine changes from every
     #: cache key in the repository. ``repro.fleet`` is in because the
     #: fleet_* exhibit family's results are a function of the fluid
-    #: tier's physics.
+    #: tier's physics. ``repro.resilience`` is in because installed
+    #: policies (breaker trips, retry jitter, shed decisions) steer
+    #: every protected exhibit's output the same way the fault plans
+    #: do.
     default_packages: Tuple[str, ...] = ("repro.experiments",
                                          "repro.faults",
                                          "repro.fleet",
                                          "repro.obs.trace",
+                                         "repro.resilience",
                                          "repro.simcore")
 
     def __init__(self, packages: Optional[Tuple[str, ...]] = None):

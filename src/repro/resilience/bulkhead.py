@@ -1,0 +1,74 @@
+"""Bulkhead: per-tenant concurrent-capacity caps at replica admission.
+
+One tenant's traffic burst must not monopolize a backend shared with
+other tenants (the multi-tenant version of the ship-compartment
+metaphor). The bulkhead tracks in-flight request concurrency per
+(tenant, backend) compartment and rejects admissions beyond the cap —
+before the request occupies a replica execution slot, so a flooded
+compartment costs the flooding tenant a 429, not its neighbors their
+latency.
+
+Acquire/release pairs bracket the replica execution in
+``MeshGateway.process_request``; release sits in a ``finally`` so a
+failing replica cannot leak a slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Bulkhead", "BulkheadConfig"]
+
+
+@dataclass(frozen=True)
+class BulkheadConfig:
+    """Sizing of the per-tenant compartments."""
+
+    #: Concurrent in-flight requests one tenant may hold on one backend.
+    max_concurrent_per_backend: int = 64
+
+    def __post_init__(self):
+        if self.max_concurrent_per_backend < 1:
+            raise ValueError(
+                f"max_concurrent_per_backend must be >= 1, got "
+                f"{self.max_concurrent_per_backend}")
+
+
+class Bulkhead:
+    """In-flight concurrency ledger over (tenant, backend) compartments."""
+
+    def __init__(self, config: BulkheadConfig = BulkheadConfig()):
+        self.config = config
+        self._inflight: Dict[Tuple[str, str], int] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_acquire(self, tenant: str, backend: str) -> bool:
+        """Reserve one slot; False when the compartment is full."""
+        key = (tenant, backend)
+        held = self._inflight.get(key, 0)
+        if held >= self.config.max_concurrent_per_backend:
+            self.rejected += 1
+            return False
+        self._inflight[key] = held + 1
+        self.admitted += 1
+        return True
+
+    def release(self, tenant: str, backend: str) -> None:
+        key = (tenant, backend)
+        held = self._inflight.get(key, 0)
+        if held <= 0:
+            raise ValueError(
+                f"bulkhead release without acquire for tenant "
+                f"{tenant!r} on {backend!r}")
+        if held == 1:
+            del self._inflight[key]
+        else:
+            self._inflight[key] = held - 1
+
+    def inflight(self, tenant: str, backend: str) -> int:
+        return self._inflight.get((tenant, backend), 0)
+
+    def total_inflight(self) -> int:
+        return sum(self._inflight.values())

@@ -1,0 +1,104 @@
+"""Graceful degradation: shed low-priority tenants before collapse.
+
+When gateway water levels climb toward saturation, total availability
+is best defended by *choosing* what to drop: the controller raises a
+priority cutoff one step at a time while the observed water level
+stays above ``shed_water_level``, shedding the lowest-priority
+tenants' requests, and lowers it again (with hysteresis, below
+``restore_water_level``) as capacity returns. Priorities are small
+ints — higher is more important; tenants without an entry get
+``default_priority`` and are shed last among the defaults.
+
+Updates are rate-limited by ``check_interval_s`` of *virtual* time so
+the per-request fast path stays O(1) without a timer process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["DegradationConfig", "DegradationController"]
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Thresholds and the tenant priority map."""
+
+    #: Water level at or above which shedding escalates one step.
+    shed_water_level: float = 0.9
+    #: Water level below which shedding de-escalates one step
+    #: (hysteresis: must be < shed_water_level).
+    restore_water_level: float = 0.7
+    #: tenant name -> priority (higher = shed later).
+    tenant_priorities: Mapping[str, int] = field(default_factory=dict)
+    #: Priority of tenants absent from the map.
+    default_priority: int = 0
+    #: Highest cutoff the controller may escalate to: tenants at or
+    #: above this priority are never shed.
+    max_shed_priority: int = 1
+    #: Minimum virtual seconds between controller re-evaluations.
+    check_interval_s: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 < self.shed_water_level <= 1.0:
+            raise ValueError(f"shed_water_level must be in (0, 1], "
+                             f"got {self.shed_water_level}")
+        if not 0.0 <= self.restore_water_level < self.shed_water_level:
+            raise ValueError(
+                "restore_water_level must be in [0, shed_water_level)")
+        if self.check_interval_s <= 0:
+            raise ValueError(
+                f"check_interval_s must be > 0, got {self.check_interval_s}")
+
+
+class DegradationController:
+    """Escalating/de-escalating priority cutoff over water-level input."""
+
+    def __init__(self, config: DegradationConfig = DegradationConfig()):
+        self.config = config
+        #: Tenants with priority < cutoff are shed; 0 sheds nobody
+        #: (priorities below 0 are still legal and shed first).
+        self.cutoff = min(0, config.default_priority)
+        self._floor = self.cutoff
+        self._last_check = None
+        self.requests_shed = 0
+        #: (t, cutoff) history of every cutoff change.
+        self.escalations: list = []
+
+    def priority_of(self, tenant: str) -> int:
+        return self.config.tenant_priorities.get(
+            tenant, self.config.default_priority)
+
+    def update(self, now: float, water_level: float) -> None:
+        """Feed one water-level observation (rate-limited internally)."""
+        if (self._last_check is not None
+                and now - self._last_check < self.config.check_interval_s):
+            return
+        self._last_check = now
+        if water_level >= self.config.shed_water_level:
+            if self.cutoff < self.config.max_shed_priority + 1:
+                self.cutoff += 1
+                self.escalations.append((now, self.cutoff))
+        elif water_level < self.config.restore_water_level:
+            if self.cutoff > self._floor:
+                self.cutoff -= 1
+                self.escalations.append((now, self.cutoff))
+
+    def allows(self, tenant: str) -> bool:
+        """Is this tenant's traffic currently admitted?"""
+        if self.priority_of(tenant) >= self.cutoff:
+            return True
+        self.requests_shed += 1
+        return False
+
+    @property
+    def shedding(self) -> bool:
+        return self.cutoff > self._floor
+
+    def shed_tenants(self) -> Dict[str, int]:
+        """Currently-shed tenants (from the explicit priority map)."""
+        return {tenant: priority
+                for tenant, priority
+                in sorted(self.config.tenant_priorities.items())
+                if priority < self.cutoff}

@@ -1,0 +1,73 @@
+"""Queue-based load leveling at the gateway dispatch point.
+
+Bursts that arrive faster than the gateway's sustainable drain rate
+are *smoothed* instead of forwarded: each admission reserves the next
+free virtual-queue slot and the request waits (in simulated time) for
+its slot; arrivals that would push the queue past ``max_queue`` are
+shed immediately — the early-drop analogue of §6.2, applied to burst
+shape rather than steady rate.
+
+The leveler is a pure arithmetic ledger over virtual time: one float
+(the next free slot) and the configured drain rate. No RNG, no wall
+clock, so protected runs stay byte-identical at any ``--jobs`` level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["LevelerConfig", "LoadLeveler"]
+
+
+@dataclass(frozen=True)
+class LevelerConfig:
+    """Drain rate and queue bound of the gateway leveling queue."""
+
+    #: Sustained forwarding rate (requests per virtual second).
+    drain_rate_per_s: float = 1000.0
+    #: Most requests that may wait for a slot at once; arrivals beyond
+    #: this are shed with an immediate rejection.
+    max_queue: int = 100
+
+    def __post_init__(self):
+        if self.drain_rate_per_s <= 0:
+            raise ValueError(
+                f"drain_rate_per_s must be > 0, got {self.drain_rate_per_s}")
+        if self.max_queue < 0:
+            raise ValueError(
+                f"max_queue must be >= 0, got {self.max_queue}")
+
+
+class LoadLeveler:
+    """Reserves drain slots for arrivals; sheds when the queue is full."""
+
+    def __init__(self, config: LevelerConfig = LevelerConfig()):
+        self.config = config
+        self._next_slot = 0.0
+        self.admitted = 0
+        self.delayed = 0
+        self.shed = 0
+
+    def reserve(self, now: float) -> Optional[float]:
+        """Seconds the arriving request must wait, or ``None`` = shed.
+
+        A return of 0.0 means the queue is idle and the request passes
+        straight through.
+        """
+        interval = 1.0 / self.config.drain_rate_per_s
+        slot = max(now, self._next_slot)
+        wait = slot - now
+        if wait * self.config.drain_rate_per_s > self.config.max_queue:
+            self.shed += 1
+            return None
+        self._next_slot = slot + interval
+        self.admitted += 1
+        if wait > 0:
+            self.delayed += 1
+        return wait
+
+    def queue_depth(self, now: float) -> int:
+        """Requests currently waiting for a slot at virtual time ``now``."""
+        backlog = (self._next_slot - now) * self.config.drain_rate_per_s
+        return max(0, int(backlog))

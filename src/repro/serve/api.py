@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import threading
 from contextlib import contextmanager
@@ -231,10 +232,10 @@ class ServeAPI:
             raise _HTTPError(400, str(exc))
         except QueueFullError as exc:
             raise _HTTPError(429, str(exc), {
-                "Retry-After": f"{max(1, round(exc.retry_after_s))}"})
+                "Retry-After": f"{max(1, math.ceil(exc.retry_after_s))}"})
         except DrainingError as exc:
             raise _HTTPError(503, str(exc), {
-                "Retry-After": f"{max(1, round(exc.retry_after_s))}"})
+                "Retry-After": f"{max(1, math.ceil(exc.retry_after_s))}"})
         response = job.to_json()
         response.update(info)
         status = 200 if (info["deduped"] or info["cache_hit"]) else 201

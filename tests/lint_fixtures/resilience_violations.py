@@ -1,0 +1,21 @@
+"""Resilience-layer lint fixture (linted as repro.resilience.fixture).
+
+Pins the new package's lint contract: ``repro.resilience`` sits at
+rank 1 in the layer DAG (a mechanism layer, peer of ``repro.core`` /
+``repro.mesh``) and its modules steer every protected exhibit's
+output, so dynamic imports (CACHE001) and upward imports into the
+fault/experiment layers (LAYER001) must all fire here.
+"""
+
+import importlib  # CACHE001 positive: line 10
+
+from repro.faults.plan import FaultPlan  # LAYER001 positive: line 12
+from repro.experiments.base import Series  # LAYER001 positive: line 13
+
+
+def bad_dynamic_policy(name):
+    return importlib.import_module(name)  # (CACHE001 flags line 10)
+
+
+def use_upward():
+    return FaultPlan, Series

@@ -63,6 +63,38 @@ class TestRegistration:
             gateway.register_service(service)
         assert len(gateway.backends_by_az["az1"]) > 2
 
+    def test_exhaustion_fallback_grows_only_smallest_pools(self, sim):
+        """The fallback must leave already-large AZ pools alone."""
+        config = GatewayConfig(backends_per_service_per_az=2,
+                               azs_per_service=2,
+                               replica=ReplicaConfig(cores=2))
+        gateway = MeshGateway(sim, config)
+        gateway.deploy_initial(["az1"], 3)
+        gateway.deploy_initial(["az2"], 1)  # too small: forces the retry
+        tenant = gateway.registry.add_tenant("t")
+        service = gateway.registry.add_service(tenant, "s0", "10.0.1.1")
+        backends = gateway.register_service(service)
+        assert len(backends) == 4
+        # Only az2 (the smallest pool) grew; az1 stayed at 3.
+        assert len(gateway.backends_by_az["az1"]) == 3
+        assert len(gateway.backends_by_az["az2"]) == 2
+
+    def test_exhaustion_after_retry_raises_clear_error(self, sim):
+        """A second exhaustion must explain itself, not re-raise bare."""
+        from repro.core.sharding import ShardingError
+        config = GatewayConfig(backends_per_service_per_az=2,
+                               azs_per_service=2,
+                               replica=ReplicaConfig(cores=2))
+        gateway = MeshGateway(sim, config)
+        gateway.deploy_initial(["az1"], 2)  # one AZ: growth cannot help
+        tenant = gateway.registry.add_tenant("t")
+        service = gateway.registry.add_service(tenant, "s0", "10.0.1.1")
+        with pytest.raises(ShardingError,
+                           match="still exhausted") as excinfo:
+            gateway.register_service(service)
+        assert service.qualified_name in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ShardingError)
+
 
 class TestFluidLoad:
     def test_load_spreads_across_backends(self, sim):

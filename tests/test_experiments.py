@@ -28,7 +28,7 @@ class TestHarness:
         assert (set(EXPERIMENTS) - expected
                 == set(ABLATIONS) | set(CASES_EXPERIMENTS)
                 | set(SENSITIVITY) | set(FLEET_EXPERIMENTS)
-                | {"fig8_recovery", "trace_breakdown"})
+                | {"fig8_recovery", "fig8_resilience", "trace_breakdown"})
 
     def test_exhibit_tiers(self):
         from repro.experiments import (FLEET_EXPERIMENTS, TIERS,

@@ -122,6 +122,27 @@ class TestQueueing:
         assert weighted_percentile(values, [98.0, 1.0, 1.0], 50.0) == 1.0
         assert weighted_percentile(values, [1.0, 98.0, 1.0], 99.5) == 3.0
 
+    def test_weighted_percentile_rejects_out_of_range_p(self):
+        values, weights = [1.0, 2.0], [1.0, 1.0]
+        for bad in (-0.1, 100.1, 500.0, float("nan")):
+            with pytest.raises(ValueError):
+                weighted_percentile(values, weights, bad)
+
+    def test_weighted_percentile_edge_cases(self):
+        values, weights = [1.0, 2.0, 3.0], [1.0, 1.0, 1.0]
+        # p=0: the smallest value with any weight.
+        assert weighted_percentile(values, weights, 0.0) == 1.0
+        # p=100: the largest.
+        assert weighted_percentile(values, weights, 100.0) == 3.0
+        # Single element: every percentile is that element.
+        assert weighted_percentile([7.0], [2.0], 0.0) == 7.0
+        assert weighted_percentile([7.0], [2.0], 50.0) == 7.0
+        assert weighted_percentile([7.0], [2.0], 100.0) == 7.0
+        # All-equal weights reduce to the unweighted percentile.
+        assert weighted_percentile(values, weights, 50.0) == 2.0
+        # Zero-weight entries are ignored entirely.
+        assert weighted_percentile([1.0, 99.0], [1.0, 0.0], 100.0) == 1.0
+
 
 class TestFleetModel:
     def test_warm_start_holds_equilibrium(self):

@@ -213,6 +213,24 @@ class TestFleetLintCoverage:
         assert lint_files(files) == []
 
 
+class TestResilienceLintCoverage:
+    """Installed policies steer every protected exhibit's output, so
+    ``repro.resilience`` gets the cached-path determinism scrutiny."""
+
+    def test_dynamic_import_fires_in_resilience(self):
+        found = findings_for("resilience_violations.py", "CACHE001",
+                             module="repro.resilience.fixture")
+        assert [f.line for f in found] == [10]
+
+    def test_resilience_package_in_src_is_clean(self):
+        resilience_dir = os.path.join(SRC_REPRO, "resilience")
+        files = [os.path.join(resilience_dir, name)
+                 for name in sorted(os.listdir(resilience_dir))
+                 if name.endswith(".py")]
+        assert len(files) >= 7
+        assert lint_files(files) == []
+
+
 class TestSlab001SlabRecycle:
     def test_positive_lines(self):
         found = findings_for("slab001_stale_callbacks.py", "SLAB001",

@@ -83,6 +83,7 @@ class TestLayer001Fixture:
         assert layer_rank("repro.simcore.sim") == 0
         assert layer_rank("repro.mesh.router") == 1
         assert layer_rank("repro.obs.trace") == 1  # sim-time trace: kernel-adjacent
+        assert layer_rank("repro.resilience.breaker") == 1  # peer of core
         assert layer_rank("repro.faults.plans") == 2
         assert layer_rank("repro.fleet.model") == 2  # peer of repro.faults
         assert layer_rank("repro.experiments.exhibits") == 3
@@ -102,6 +103,13 @@ class TestLayer001Fixture:
         found = findings_for("layer001_clean.py", "LAYER001",
                              module="repro.fleet.fake")
         assert found == []
+
+    def test_resilience_upward_imports_fire(self):
+        # repro.resilience is rank 1: imports into faults (2) and
+        # experiments (3) are both upward edges.
+        found = findings_for("resilience_violations.py", "LAYER001",
+                             module="repro.resilience.fixture")
+        assert [f.line for f in found] == [12, 13]
 
 
 # -- RACE001: contested sim-process state -------------------------------------

@@ -246,6 +246,22 @@ class TestRobustness:
         finally:
             server.close()
 
+    def test_retry_after_header_rounds_up(self, tmp_path):
+        """The advertised delay must never be shorter than the real one:
+        a 1.2 s backpressure window must say Retry-After: 2, not 1."""
+        from repro.serve.scheduler import QueueFullError
+        server = _Server(tmp_path)
+        try:
+            def full(_spec):
+                raise QueueFullError(depth=1, retry_after_s=1.2)
+            server.scheduler.submit = full
+            with pytest.raises(ServerBusy) as excinfo:
+                server.client.submit(_sleep_spec(0.1, dedupe=False))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s == 2.0
+        finally:
+            server.close()
+
     def test_retry_after_header_clamped(self):
         clamp = ServeClient._retry_after_delay
         assert clamp("2.5") == 2.5
